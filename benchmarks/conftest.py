@@ -1,0 +1,21 @@
+"""Benchmark harness helpers.
+
+Every experiment bench runs the corresponding E* function once per round,
+asserts its internal expectation column, and attaches the paper-style table
+to the benchmark record (``--benchmark-verbose`` / JSON export carries it).
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+
+def run_experiment_bench(benchmark, experiment_fn, *, rounds: int = 1):
+    """Benchmark one experiment end to end and verify its expectations."""
+    result = benchmark.pedantic(experiment_fn, rounds=rounds, iterations=1)
+    assert result.all_pass, result.describe()
+    benchmark.extra_info["experiment"] = result.experiment_id
+    benchmark.extra_info["rows"] = len(result.rows)
+    benchmark.extra_info["table"] = result.describe()
+    return result

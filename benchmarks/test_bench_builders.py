@@ -1,0 +1,73 @@
+"""Builder micro-benchmarks: payload construction cost per technique.
+
+Exploit *construction* is pure planning (field layout + label DP); these
+times are what the auto-exploiter pays per ladder rung before any
+delivery happens.
+"""
+
+from repro.core import AttackScenario, attacker_knowledge
+from repro.defenses import NONE, WX, WX_ASLR
+from repro.exploit import (
+    ArmCodeInjection,
+    ArmExeclpGadget,
+    ArmRopMemcpyExeclp,
+    GadgetFinder,
+    X86CodeInjection,
+    X86JmpEspInjection,
+    X86Ret2Libc,
+    X86RopMemcpyExeclp,
+)
+
+
+def knowledge(arch, profile):
+    return attacker_knowledge(AttackScenario(arch, "bench", profile))
+
+
+def test_bench_build_x86_code_injection(benchmark):
+    k = knowledge("x86", NONE)
+    exploit = benchmark(lambda: X86CodeInjection().build(k))
+    assert exploit.payload.labels
+
+
+def test_bench_build_arm_code_injection(benchmark):
+    k = knowledge("arm", NONE)
+    exploit = benchmark(lambda: ArmCodeInjection().build(k))
+    assert exploit.payload.labels
+
+
+def test_bench_build_x86_ret2libc(benchmark):
+    k = knowledge("x86", WX)
+    exploit = benchmark(lambda: X86Ret2Libc().build(k))
+    assert exploit.payload.labels
+
+
+def test_bench_build_arm_gadget_execlp(benchmark):
+    k = knowledge("arm", WX)
+    exploit = benchmark(lambda: ArmExeclpGadget().build(k))
+    assert exploit.payload.labels
+
+
+def test_bench_build_x86_rop(benchmark):
+    k = knowledge("x86", WX_ASLR)
+    exploit = benchmark(lambda: X86RopMemcpyExeclp().build(k))
+    assert exploit.payload.labels
+
+
+def test_bench_build_arm_rop(benchmark):
+    k = knowledge("arm", WX_ASLR)
+    exploit = benchmark(lambda: ArmRopMemcpyExeclp().build(k))
+    assert exploit.payload.labels
+
+
+def test_bench_build_jmp_esp(benchmark):
+    k = knowledge("x86", WX_ASLR)
+    exploit = benchmark(lambda: X86JmpEspInjection().build(k))
+    assert exploit.payload.labels
+
+
+def test_bench_gadget_census(benchmark):
+    from repro.binfmt import build_connman
+
+    binary = build_connman("arm")
+    census = benchmark(lambda: GadgetFinder(binary).census())
+    assert census

@@ -1,0 +1,15 @@
+"""E11 — off-path spoofing delivery (§III-D's cache-poisoning remark).
+
+Regenerates the spoof-race table: large guessed-id bursts against a chatty
+device land the exploit without any MITM position; small bursts lose the
+race to the legitimate resolver.
+"""
+
+from repro.core import e11_offpath
+
+from .conftest import run_experiment_bench
+
+
+def test_bench_e11_offpath_table(benchmark):
+    result = run_experiment_bench(benchmark, e11_offpath)
+    assert result.rows[0][0] == 2048 and result.rows[1][0] == 4

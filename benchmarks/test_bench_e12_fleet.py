@@ -1,0 +1,17 @@
+"""E12 — household fleet compromise (§I motivation).
+
+Regenerates the blast-radius table: one evil twin, six devices, every
+vulnerable Connman rooted, the patched straggler merely hijacked at the
+network layer.
+"""
+
+from repro.core import e12_fleet
+
+from .conftest import run_experiment_bench
+
+
+def test_bench_e12_fleet_table(benchmark):
+    result = run_experiment_bench(benchmark, e12_fleet)
+    rooted = sum(1 for row in result.rows if row[5] == "ROOT SHELL")
+    assert rooted == 5
+    assert all(row[4] for row in result.rows)  # everyone roamed

@@ -1,0 +1,16 @@
+"""E13 — botnet via poisoned forwarder delegation (§III-D's Mirai remark).
+
+Regenerates the off-path campaign table: one Kaminsky-style delegation
+poisoning of the home forwarder, then fleet-wide recruitment through the
+victims' own trusted resolver.
+"""
+
+from repro.core import e13_botnet
+
+from .conftest import run_experiment_bench
+
+
+def test_bench_e13_botnet_table(benchmark):
+    result = run_experiment_bench(benchmark, e13_botnet)
+    recruited = sum(1 for row in result.rows if row[5])
+    assert recruited == 5

@@ -1,0 +1,17 @@
+"""E14 — exploit reliability across fresh randomization draws.
+
+Regenerates the reliability table: address-independent techniques are
+deterministic; randomized-absolute techniques drop to the entropy lottery.
+"""
+
+from repro.core import e14_reliability
+
+from .conftest import run_experiment_bench
+
+
+def test_bench_e14_reliability_table(benchmark):
+    result = run_experiment_bench(benchmark, lambda: e14_reliability(trials=10))
+    always = [row for row in result.rows if row[4] == "always"]
+    lottery = [row for row in result.rows if row[4] == "lottery"]
+    assert all(row[3] == "10/10" for row in always)
+    assert all(row[3].startswith("0/") for row in lottery)

@@ -1,0 +1,15 @@
+"""E15 — brute-force cost vs. ASLR entropy (figure series).
+
+Regenerates the attempts-vs-entropy curve: medians track the randomization
+span as it grows 16 -> 1024 pages.
+"""
+
+from repro.core import e15_entropy_sweep
+
+from .conftest import run_experiment_bench
+
+
+def test_bench_e15_entropy_series(benchmark):
+    result = run_experiment_bench(benchmark, lambda: e15_entropy_sweep(runs_per_point=3))
+    assert result.rows[-1][0] == "(scaling)"
+    benchmark.extra_info["series"] = [row[:3] for row in result.rows[:-1]]

@@ -1,0 +1,17 @@
+"""E1 — DoS via malformed DNS response (paper §III, crash PoC).
+
+Regenerates the crash/patched table: Connman <= 1.34 takes SIGSEGV from the
+oversized Type A answer on both architectures; 1.35 drops the packet.
+"""
+
+from repro.core import e1_dos
+
+from .conftest import run_experiment_bench
+
+
+def test_bench_e1_dos_table(benchmark):
+    result = run_experiment_bench(benchmark, e1_dos)
+    crashed = [row for row in result.rows if row[1] == "1.34"]
+    survived = [row for row in result.rows if row[1] == "1.35"]
+    assert all(not row[3] for row in crashed)   # daemon down
+    assert all(row[3] for row in survived)      # daemon alive

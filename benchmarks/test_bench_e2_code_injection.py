@@ -1,0 +1,23 @@
+"""E2 — code injection with no protections (paper §III-A).
+
+Regenerates the first two cells of the attack matrix (x86 + ARMv7 root
+shells) and the W^X negative control, and times the end-to-end attack
+(recon + build + deliver + emulated hijack).
+"""
+
+from repro.core import AttackScenario, e2_code_injection, run_scenario
+from repro.defenses import NONE
+
+from .conftest import run_experiment_bench
+
+
+def test_bench_e2_code_injection_table(benchmark):
+    result = run_experiment_bench(benchmark, e2_code_injection)
+    shells = [row for row in result.rows if row[1] == "none"]
+    assert all(row[3] == "root shell" for row in shells)
+
+
+def test_bench_e2_single_attack_latency(benchmark):
+    """Wall time of one complete no-protections attack on x86."""
+    result = benchmark(lambda: run_scenario(AttackScenario("x86", "none", NONE)))
+    assert result.succeeded

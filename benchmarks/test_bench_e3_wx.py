@@ -1,0 +1,22 @@
+"""E3 — W^X bypass (paper §III-B).
+
+Regenerates the ret2libc (x86) / gadget-execlp (ARM, Listing 2) results,
+the short-gadget parse_rr SIGSEGV, and the vs-ASLR negative controls.
+"""
+
+from repro.core import AttackScenario, e3_wx_bypass, run_scenario
+from repro.defenses import WX
+
+from .conftest import run_experiment_bench
+
+
+def test_bench_e3_wx_table(benchmark):
+    result = run_experiment_bench(benchmark, e3_wx_bypass)
+    wins = [row for row in result.rows if row[1] == "vs W^X victim"]
+    assert len(wins) == 2 and all(row[2] == "root shell" for row in wins)
+
+
+def test_bench_e3_arm_gadget_attack_latency(benchmark):
+    """Wall time of the Listing 2 attack (ARM, W^X)."""
+    result = benchmark(lambda: run_scenario(AttackScenario("arm", "W^X", WX)))
+    assert result.succeeded

@@ -1,0 +1,35 @@
+"""E4 — W^X + ASLR bypass via ROP (paper §III-C, Listings 3–5).
+
+Regenerates the ROP results on both architectures, the ARM three-call
+horizon failure, and times chain construction separately from delivery
+(the build is pure planning; delivery includes the emulated hijack).
+"""
+
+from repro.core import AttackScenario, attacker_knowledge, e4_aslr_bypass, run_scenario
+from repro.defenses import WX_ASLR
+from repro.exploit import ArmRopMemcpyExeclp, X86RopMemcpyExeclp
+
+from .conftest import run_experiment_bench
+
+
+def test_bench_e4_aslr_table(benchmark):
+    result = run_experiment_bench(benchmark, e4_aslr_bypass)
+    wins = [row for row in result.rows if row[1] == "rop (paper chain)"]
+    assert len(wins) == 2 and all(row[2] == "root shell" for row in wins)
+
+
+def test_bench_e4_x86_chain_build(benchmark):
+    knowledge = attacker_knowledge(AttackScenario("x86", "W^X+ASLR", WX_ASLR))
+    exploit = benchmark(lambda: X86RopMemcpyExeclp().build(knowledge))
+    assert exploit.payload.labels
+
+
+def test_bench_e4_arm_chain_build(benchmark):
+    knowledge = attacker_knowledge(AttackScenario("arm", "W^X+ASLR", WX_ASLR))
+    exploit = benchmark(lambda: ArmRopMemcpyExeclp().build(knowledge))
+    assert exploit.payload.labels
+
+
+def test_bench_e4_full_rop_attack_latency(benchmark):
+    result = benchmark(lambda: run_scenario(AttackScenario("arm", "W^X+ASLR", WX_ASLR)))
+    assert result.succeeded

@@ -1,0 +1,16 @@
+"""E5 — remote MITM via Wi-Fi Pineapple (paper §III-D, Fig. 1).
+
+Regenerates the remote-attack rows: x86 feasibility smash plus all three
+ARM exploits delivered through the rogue AP + DHCP + rogue-DNS path.
+"""
+
+from repro.core import e5_pineapple
+
+from .conftest import run_experiment_bench
+
+
+def test_bench_e5_pineapple_table(benchmark):
+    result = run_experiment_bench(benchmark, e5_pineapple)
+    assert len(result.rows) == 4
+    assert all(row[2] for row in result.rows)                 # every device roamed
+    assert all(row[3] == "172.16.42.1" for row in result.rows)  # rogue DNS via DHCP

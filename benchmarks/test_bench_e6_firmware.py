@@ -1,0 +1,15 @@
+"""E6 — firmware survey (paper §III intro).
+
+Regenerates the Yocto/OpenELEC/Tizen vulnerability table.
+"""
+
+from repro.core import e6_firmware_survey
+
+from .conftest import run_experiment_bench
+
+
+def test_bench_e6_firmware_table(benchmark):
+    result = run_experiment_bench(benchmark, e6_firmware_survey)
+    vulnerable = {row[0] for row in result.rows if row[2]}
+    assert {"yocto-pyro", "openelec-8", "tizen-3"} <= vulnerable
+    assert "tizen-4" not in vulnerable

@@ -1,0 +1,26 @@
+"""E7 — suggested mitigations (paper §IV).
+
+Regenerates the mitigation table (patch / canary / CFI / diversity, each
+against the strongest applicable attack) plus the diversity survival
+figure: how much attacker address knowledge transfers between builds.
+"""
+
+from repro.core import diversity_survival, e7_mitigations
+
+from .conftest import run_experiment_bench
+
+
+def test_bench_e7_mitigations_table(benchmark):
+    result = run_experiment_bench(benchmark, e7_mitigations)
+    assert len(result.rows) == 10  # 5 mitigations x 2 arches
+
+
+def test_bench_e7_diversity_survival_series(benchmark):
+    reports = benchmark.pedantic(
+        lambda: diversity_survival("x86", seeds=6), rounds=1, iterations=1
+    )
+    rates = [report.gadget_survival_rate for report in reports]
+    benchmark.extra_info["survival_rates"] = [round(rate, 3) for rate in rates]
+    # The probabilistic-protection claim: most gadget addresses die.
+    assert all(rate < 0.5 for rate in rates)
+    assert all(report.plt_moved > 0 for report in reports)

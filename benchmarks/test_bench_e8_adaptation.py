@@ -1,0 +1,20 @@
+"""E8 — adapting the exploit to other CVEs (paper §V).
+
+Regenerates the adaptation matrix: dnsmasq/systemd/asterisk over DNS
+(minimal modification), HTTP and TCP victims (moderate modification), each
+rooted under the full W^X+ASLR profile.
+"""
+
+from repro.core import e8_adaptation
+from repro.defenses import WX_ASLR
+
+from .conftest import run_experiment_bench
+
+
+def test_bench_e8_adaptation_table(benchmark):
+    result = run_experiment_bench(
+        benchmark, lambda: e8_adaptation(profiles=(("W^X+ASLR", WX_ASLR),))
+    )
+    assert len(result.rows) == 6
+    protocols = {row[2] for row in result.rows}
+    assert protocols == {"dns", "http", "tcp"}

@@ -1,0 +1,114 @@
+"""E9 — substrate micro-benchmarks.
+
+Not a paper table; throughput numbers for the building blocks so
+regressions in the simulation layers are visible: DNS codec, emulator
+step rate, gadget scanning, the label planner, and daemon boot.
+"""
+
+import random
+
+from repro.binfmt import build_connman
+from repro.connman import ConnmanDaemon
+from repro.cpu import Process, make_emulator
+from repro.cpu.x86 import asm as x86
+from repro.cpu.arm import asm as arm
+from repro.defenses import NONE, WX_ASLR
+from repro.dns import Message, ResourceRecord, make_query, make_response
+from repro.exploit import GadgetFinder, cyclic, fill, plan_labels
+from repro.mem import AddressSpace, Perm
+
+
+def test_bench_dns_message_encode(benchmark):
+    query = make_query(1, "www.long-subdomain.example.com")
+    response = make_response(
+        query, tuple(ResourceRecord.a("www.long-subdomain.example.com", f"10.0.0.{i}")
+                     for i in range(4))
+    )
+    wire = benchmark(response.encode)
+    assert len(wire) > 50
+
+
+def test_bench_dns_message_decode(benchmark):
+    query = make_query(1, "www.example.com")
+    wire = make_response(query, (ResourceRecord.a("www.example.com", "1.2.3.4"),)).encode()
+    message = benchmark(Message.decode, wire)
+    assert message.answers
+
+
+def test_bench_x86_emulator_steps(benchmark):
+    space = AddressSpace()
+    space.map_new("code", 0x1000, 0x1000, Perm.RX)
+    # 200 arithmetic instructions then a clean exit syscall.
+    body = (x86.inc_reg("eax") + x86.dec_reg("ecx") + x86.xor_reg_reg("edx", "edx")) * 66
+    body += x86.mov_reg_imm32("eax", 1) + x86.xor_reg_reg("ebx", "ebx") + x86.int_(0x80)
+    space.write(0x1000, body, check=False)
+
+    def run():
+        process = Process("x86", space)
+        process.pc = 0x1000
+        space.map_new("stack", 0x20000, 0x1000, Perm.RW) if not space.has_segment("stack") else None
+        process.sp = 0x20800
+        return make_emulator(process).run()
+
+    result = benchmark(run)
+    assert result.reason == "exit"
+
+
+def test_bench_arm_emulator_steps(benchmark):
+    space = AddressSpace()
+    space.map_new("code", 0x1000, 0x2000, Perm.RX)
+    space.map_new("stack", 0x20000, 0x1000, Perm.RW)
+    body = (arm.add_imm("r0", "r0", 1) + arm.mov_reg("r1", "r0") + arm.nop()) * 100
+    body += arm.mov_imm("r7", 1) + arm.svc(0)
+    space.write(0x1000, body, check=False)
+
+    def run():
+        process = Process("arm", space)
+        process.pc = 0x1000
+        process.sp = 0x20800
+        return make_emulator(process).run()
+
+    result = benchmark(run)
+    assert result.reason == "exit"
+
+
+def test_bench_gadget_scan_x86(benchmark):
+    binary = build_connman("x86")
+    gadgets = benchmark(lambda: GadgetFinder(binary).all_gadgets())
+    assert gadgets
+
+
+def test_bench_gadget_scan_arm(benchmark):
+    binary = build_connman("arm")
+    gadgets = benchmark(lambda: GadgetFinder(binary).all_gadgets())
+    assert gadgets
+
+
+def test_bench_label_planner_1400_bytes(benchmark):
+    pattern = cyclic(1400)
+    plan = benchmark(lambda: plan_labels([fill(1400, pattern=pattern)]))
+    assert plan.expansion_length == 1401
+
+
+def test_bench_daemon_boot(benchmark):
+    rng = random.Random(1)
+    daemon = benchmark(lambda: ConnmanDaemon(arch="arm", profile=WX_ASLR, rng=rng))
+    assert daemon.alive
+
+
+def test_bench_benign_proxy_resolution(benchmark):
+    from repro.dns import SimpleDnsServer, StubResolver
+
+    daemon = ConnmanDaemon(arch="x86", profile=NONE)
+    upstream = SimpleDnsServer(default_address="9.9.9.9")
+    resolver = StubResolver()
+    names = iter(f"host-{i}.example" for i in range(1_000_000))
+
+    def resolve():
+        return resolver.resolve(
+            lambda packet: daemon.handle_client_query(packet, upstream.handle_query),
+            next(names),
+        )
+
+    result = benchmark(resolve)
+    assert result.ok

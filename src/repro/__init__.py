@@ -1,0 +1,31 @@
+"""repro — full-system reproduction of *Exploiting Memory Corruption
+Vulnerabilities in Connman for IoT Devices* (DSN 2019) on a simulated
+substrate.
+
+Layers (bottom to top):
+
+* :mod:`repro.mem`       — 32-bit address space, permissions, layouts, ASLR
+* :mod:`repro.cpu`       — x86 + ARMv7 assemblers/decoders/emulators, libc natives
+* :mod:`repro.binfmt`    — ELF-like images, the Connman binary factory, loader
+* :mod:`repro.dns`       — DNS wire protocol, servers, malicious server
+* :mod:`repro.connman`   — the vulnerable dnsproxy + daemon (CVE-2017-12865)
+* :mod:`repro.net`       — LAN/DHCP/Wi-Fi simulation, the Wi-Fi Pineapple
+* :mod:`repro.firmware`  — firmware catalog, IoT device models, CVE audit
+* :mod:`repro.defenses`  — W^X/ASLR profiles, canary, CFI, software diversity
+* :mod:`repro.exploit`   — payload planner, shellcode, gadget finder, builders
+* :mod:`repro.othercves` — §V adaptation targets (dnsmasq/systemd/HTTP/TCP)
+* :mod:`repro.core`      — the paper's experiments E1–E8
+
+Quickstart::
+
+    from repro.core import run_scenario, PAPER_MATRIX
+    for scenario in PAPER_MATRIX:
+        print(run_scenario(scenario).row())
+
+Everything runs against emulated processes in this Python process; no real
+network traffic, binaries, or devices are involved.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

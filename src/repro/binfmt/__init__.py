@@ -1,0 +1,26 @@
+"""Simplified ELF-like binary images, libc model, and process loader."""
+
+from .binary import Binary, relocate
+from .builder import BinaryBuilder
+from .connman_bin import ARM_LINK_BASE, PLT_FUNCTIONS, X86_LINK_BASE, build_connman
+from .libc import LIBC_EXPORTS, LibcImage, build_libc
+from .loader import LoadedProcess, load_process
+from .section import SectionImage, Symbol, SymbolTable
+
+__all__ = [
+    "ARM_LINK_BASE",
+    "Binary",
+    "BinaryBuilder",
+    "build_connman",
+    "build_libc",
+    "LIBC_EXPORTS",
+    "LibcImage",
+    "LoadedProcess",
+    "load_process",
+    "PLT_FUNCTIONS",
+    "relocate",
+    "SectionImage",
+    "Symbol",
+    "SymbolTable",
+    "X86_LINK_BASE",
+]

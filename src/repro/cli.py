@@ -1,0 +1,331 @@
+"""Command-line interface: drive the reproduction from a shell.
+
+::
+
+    python -m repro matrix                 # the six-attack table
+    python -m repro experiments --only E1,E5
+    python -m repro dos --arch arm
+    python -m repro pineapple
+    python -m repro audit
+    python -m repro gadgets --arch arm --contains "blx"
+    python -m repro recon --arch x86 --aslr
+    python -m repro trace --arch arm --level wx+aslr
+    python -m repro autogen --arch arm --level wx
+    python -m repro bruteforce
+    python -m repro offpath --burst 2048
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import Callable, Dict, List, Optional
+
+from .connman import ConnmanDaemon
+from .cpu import TraceRecorder
+from .defenses import NONE, WX, WX_ASLR, ProtectionProfile
+from .dns import SimpleDnsServer
+from .core import (
+    AttackScenario,
+    attacker_knowledge,
+    e1_dos,
+    e2_code_injection,
+    e3_wx_bypass,
+    e4_aslr_bypass,
+    e5_pineapple,
+    e6_firmware_survey,
+    e7_mitigations,
+    e8_adaptation,
+    e10_bruteforce,
+    e11_offpath,
+    e12_fleet,
+    e13_botnet,
+    e14_reliability,
+    e15_entropy_sweep,
+    render_table,
+    run_paper_matrix,
+)
+from .exploit import (
+    AslrBruteForcer,
+    AutoExploiter,
+    GadgetFinder,
+    OffPathSpoofer,
+    builder_for,
+    deliver,
+)
+
+LEVELS: Dict[str, ProtectionProfile] = {
+    "none": NONE,
+    "wx": WX,
+    "wx+aslr": WX_ASLR,
+}
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "E1": e1_dos,
+    "E2": e2_code_injection,
+    "E3": e3_wx_bypass,
+    "E4": e4_aslr_bypass,
+    "E5": e5_pineapple,
+    "E6": e6_firmware_survey,
+    "E7": e7_mitigations,
+    "E8": e8_adaptation,
+    "E10": e10_bruteforce,
+    "E11": e11_offpath,
+    "E12": e12_fleet,
+    "E13": e13_botnet,
+    "E14": e14_reliability,
+    "E15": e15_entropy_sweep,
+}
+
+
+def cmd_report(args) -> int:
+    """Print every measured experiment table (EXPERIMENTS.md body)."""
+    import json
+
+    from .core import run_all
+
+    results = run_all()
+    if getattr(args, "json", False):
+        print(json.dumps([result.to_dict() for result in results], indent=2))
+    else:
+        for result in results:
+            print(result.describe())
+            print()
+    return 0 if all(result.all_pass for result in results) else 1
+
+
+def _add_arch(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--arch", choices=("x86", "arm"), default="x86")
+
+
+def _add_level(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--level", choices=sorted(LEVELS), default="none",
+                        help="victim protection level")
+
+
+def cmd_matrix(_args) -> int:
+    results = run_paper_matrix()
+    print(render_table(
+        ("arch", "protections", "strategy", "outcome"),
+        [result.row() for result in results],
+        title="§III experiment matrix",
+    ))
+    return 0 if all(result.succeeded for result in results) else 1
+
+
+def cmd_experiments(args) -> int:
+    wanted = [name.strip().upper() for name in args.only.split(",")] if args.only else list(EXPERIMENTS)
+    status = 0
+    for name in wanted:
+        experiment = EXPERIMENTS.get(name)
+        if experiment is None:
+            print(f"unknown experiment {name!r}; known: {', '.join(EXPERIMENTS)}",
+                  file=sys.stderr)
+            return 2
+        result = experiment()
+        print(result.describe())
+        print()
+        if not result.all_pass:
+            status = 1
+    return status
+
+
+def cmd_dos(args) -> int:
+    from .core import naive_overflow_blob
+    from .dns import build_raw_response, make_query
+
+    for version in ("1.34", "1.35"):
+        daemon = ConnmanDaemon(arch=args.arch, version=version, profile=WX_ASLR)
+        query = make_query(0xD05, "crash.example")
+        reply = build_raw_response(query, naive_overflow_blob())
+        event = daemon.handle_upstream_reply(reply, expected_id=0xD05)
+        state = "alive" if daemon.alive else "DOWN"
+        print(f"connman {version} / {args.arch}: {event.describe()[:64]} [{state}]")
+    return 0
+
+
+def cmd_pineapple(_args) -> int:
+    result = e5_pineapple()
+    print(result.describe())
+    return 0 if result.all_pass else 1
+
+
+def cmd_audit(_args) -> int:
+    from .firmware import ALL_CVES
+
+    print(e6_firmware_survey().describe())
+    print()
+    print("CVE database:")
+    for cve in ALL_CVES:
+        print(f"  {cve.cve_id:<15} {cve.component:<17} {cve.protocol:<5} "
+              f"[{cve.adaptation_effort}]")
+    return 0
+
+
+def cmd_gadgets(args) -> int:
+    from .binfmt import build_connman
+
+    binary = build_connman(args.arch, seed=args.seed)
+    finder = GadgetFinder(binary)
+    if args.census:
+        for category, count in sorted(finder.census().items(), key=lambda kv: -kv[1]):
+            print(f"  {count:5d}  {category}")
+        print(finder.summary())
+        return 0
+    gadgets = finder.all_gadgets()
+    shown = 0
+    for gadget in gadgets:
+        if args.contains and args.contains not in gadget.text:
+            continue
+        print(gadget)
+        shown += 1
+        if shown >= args.limit:
+            print(f"... ({len(gadgets)} total)")
+            break
+    print(finder.summary())
+    return 0
+
+
+def cmd_recon(args) -> int:
+    profile = WX_ASLR if args.aslr else NONE
+    knowledge = attacker_knowledge(AttackScenario(args.arch, "cli", profile))
+    print(knowledge.describe())
+    print(f"  ret offset        : name+{knowledge.ret_offset}")
+    print(f"  .bss scratch      : {knowledge.bss:#010x}")
+    for name, address in sorted(knowledge.plt.items()):
+        print(f"  {name + '@plt':<18}: {address:#010x}")
+    for name, address in sorted(knowledge.libc.items()):
+        suffix = " (assumed)" if knowledge.libc_is_assumed else ""
+        print(f"  libc {name:<13}: {address:#010x}{suffix}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    profile = LEVELS[args.level]
+    victim = ConnmanDaemon(arch=args.arch, profile=profile)
+    recorder = TraceRecorder(limit=args.limit)
+    victim.loaded.process.trace = recorder
+    knowledge = attacker_knowledge(AttackScenario(args.arch, args.level, profile))
+    exploit = builder_for(args.arch, profile).build(knowledge)
+    report = deliver(exploit, victim)
+    print(f"exploit : {exploit.describe()}")
+    print(f"outcome : {report.event.describe()}")
+    print("trace (hijacked control flow):")
+    print(recorder.describe())
+    return 0 if report.got_root_shell else 1
+
+
+def cmd_listing(args) -> int:
+    """Print the paper-Listing-style rendering of one exploit's chain."""
+    from .exploit import render_exploit_listing
+
+    profile = LEVELS[args.level]
+    knowledge = attacker_knowledge(AttackScenario(args.arch, args.level, profile))
+    exploit = builder_for(args.arch, profile).build(knowledge)
+    print(render_exploit_listing(exploit))
+    return 0
+
+
+def cmd_autogen(args) -> int:
+    victim = ConnmanDaemon(arch=args.arch, profile=LEVELS[args.level])
+    result = AutoExploiter(victim).run()
+    print(result.describe())
+    return 0 if result.succeeded else 1
+
+
+def cmd_bruteforce(args) -> int:
+    victim = ConnmanDaemon(arch="x86", profile=WX_ASLR, rng=random.Random(args.seed))
+    forcer = AslrBruteForcer(victim, max_attempts=args.max_attempts,
+                             rng=random.Random(args.seed + 1))
+    result = forcer.run()
+    print(result.describe())
+    return 0 if result.succeeded else 1
+
+
+def cmd_offpath(args) -> int:
+    profile = WX_ASLR
+    knowledge = attacker_knowledge(AttackScenario("arm", "cli", profile))
+    exploit = builder_for("arm", profile).build(knowledge)
+    victim = ConnmanDaemon(arch="arm", profile=profile, rng=random.Random(args.seed))
+    spoofer = OffPathSpoofer(exploit, burst=args.burst, rng=random.Random(args.seed + 1))
+    legit = SimpleDnsServer(default_address="1.1.1.1")
+    result = spoofer.attack(victim, legit.handle_query, max_queries=args.max_queries)
+    print(result.describe())
+    return 0 if result.succeeded else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DSN'19 Connman CVE-2017-12865 reproduction (simulated substrate)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("matrix", help="run the six-attack §III matrix").set_defaults(run=cmd_matrix)
+    report = subparsers.add_parser("report", help="print every measured experiment table")
+    report.add_argument("--json", action="store_true", help="machine-readable output")
+    report.set_defaults(run=cmd_report)
+
+    experiments = subparsers.add_parser("experiments", help="run paper experiments")
+    experiments.add_argument("--only", help="comma-separated ids, e.g. E1,E5")
+    experiments.set_defaults(run=cmd_experiments)
+
+    dos = subparsers.add_parser("dos", help="E1 crash PoC")
+    _add_arch(dos)
+    dos.set_defaults(run=cmd_dos)
+
+    subparsers.add_parser("pineapple", help="E5 remote MITM").set_defaults(run=cmd_pineapple)
+    subparsers.add_parser("audit", help="E6 firmware survey + CVE db").set_defaults(run=cmd_audit)
+
+    gadgets = subparsers.add_parser("gadgets", help="scan the Connman image for gadgets")
+    _add_arch(gadgets)
+    gadgets.add_argument("--seed", type=int, default=0, help="diversity build seed")
+    gadgets.add_argument("--contains", help="filter by substring of the gadget text")
+    gadgets.add_argument("--limit", type=int, default=40)
+    gadgets.add_argument("--census", action="store_true",
+                         help="print category counts instead of a listing")
+    gadgets.set_defaults(run=cmd_gadgets)
+
+    recon = subparsers.add_parser("recon", help="attacker recon summary")
+    _add_arch(recon)
+    recon.add_argument("--aslr", action="store_true", help="victim has ASLR (blind recon)")
+    recon.set_defaults(run=cmd_recon)
+
+    trace = subparsers.add_parser("trace", help="run one attack with an execution trace")
+    _add_arch(trace)
+    _add_level(trace)
+    trace.add_argument("--limit", type=int, default=64)
+    trace.set_defaults(run=cmd_trace)
+
+    listing = subparsers.add_parser("listing", help="paper-Listing view of a chain")
+    _add_arch(listing)
+    _add_level(listing)
+    listing.set_defaults(run=cmd_listing)
+
+    autogen = subparsers.add_parser("autogen", help="§VII automated strategy ladder")
+    _add_arch(autogen)
+    _add_level(autogen)
+    autogen.set_defaults(run=cmd_autogen)
+
+    bruteforce = subparsers.add_parser("bruteforce", help="E10 ASLR brute force")
+    bruteforce.add_argument("--max-attempts", type=int, default=4096)
+    bruteforce.add_argument("--seed", type=int, default=99)
+    bruteforce.set_defaults(run=cmd_bruteforce)
+
+    offpath = subparsers.add_parser("offpath", help="E11 off-path spoofing")
+    offpath.add_argument("--burst", type=int, default=2048)
+    offpath.add_argument("--max-queries", type=int, default=512)
+    offpath.add_argument("--seed", type=int, default=3)
+    offpath.set_defaults(run=cmd_offpath)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.run(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

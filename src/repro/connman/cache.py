@@ -1,0 +1,59 @@
+"""Connman's DNS-proxy cache (the feature the vulnerable code path serves).
+
+CVE-2017-12865 lives in the code that expands a compressed name *in order to
+cache* type A / AAAA responses — so the cache is part of the faithful model:
+a successfully parsed reply lands here and later client queries are answered
+without touching the upstream server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass
+class CacheEntry:
+    name: str
+    address: str
+    ttl: int
+    stored_at: float
+
+
+class DnsCache:
+    """Name -> address cache with simulated-clock TTL expiry."""
+
+    def __init__(self, max_entries: int = 256):
+        self.max_entries = max_entries
+        self._entries: Dict[str, CacheEntry] = {}
+        self._clock = 0.0
+
+    def advance(self, seconds: float) -> None:
+        """Advance the simulated clock (tests drive expiry this way)."""
+        self._clock += seconds
+
+    def put(self, name: str, address: str, ttl: int = 300) -> None:
+        if len(self._entries) >= self.max_entries and name.lower() not in self._entries:
+            self._evict_one()
+        self._entries[name.lower()] = CacheEntry(
+            name=name, address=address, ttl=ttl, stored_at=self._clock
+        )
+
+    def _evict_one(self) -> None:
+        oldest = min(self._entries.values(), key=lambda entry: entry.stored_at)
+        del self._entries[oldest.name.lower()]
+
+    def get(self, name: str) -> Optional[str]:
+        entry = self._entries.get(name.lower())
+        if entry is None:
+            return None
+        if self._clock - entry.stored_at > entry.ttl:
+            del self._entries[name.lower()]
+            return None
+        return entry.address
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()

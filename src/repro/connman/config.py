@@ -1,0 +1,89 @@
+"""Connman ``main.conf`` parsing and the settings this model honors.
+
+Real deployments tune Connman through an INI-style ``main.conf``; the
+fields modeled here are the ones that matter to the attack surface:
+
+* ``FallbackNameservers`` — resolvers used when DHCP supplies none, i.e.
+  one more place an upstream an attacker might control comes from;
+* ``EnableOnlineCheck`` — whether a freshly-connected service immediately
+  performs a DNS lookup (the §III-D first-shot window);
+* ``AllowHostnameUpdates`` / ``SingleConnectedTechnology`` — parsed for
+  completeness and surfaced to the service manager.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+class MainConfError(ValueError):
+    """main.conf could not be parsed."""
+
+
+@dataclass(frozen=True)
+class MainConf:
+    fallback_nameservers: Tuple[str, ...] = ()
+    enable_online_check: bool = True
+    allow_hostname_updates: bool = True
+    single_connected_technology: bool = False
+    #: Every (section, key) -> raw value, for settings we don't interpret.
+    raw: Dict[Tuple[str, str], str] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        fallback = ",".join(self.fallback_nameservers) or "(none)"
+        return (
+            f"FallbackNameservers={fallback} "
+            f"EnableOnlineCheck={self.enable_online_check} "
+            f"SingleConnectedTechnology={self.single_connected_technology}"
+        )
+
+
+DEFAULT_MAIN_CONF = MainConf()
+
+_BOOL = {"true": True, "false": False, "1": True, "0": False,
+         "yes": True, "no": False}
+
+
+def _parse_bool(value: str, key: str) -> bool:
+    try:
+        return _BOOL[value.strip().lower()]
+    except KeyError:
+        raise MainConfError(f"{key}: expected a boolean, got {value!r}") from None
+
+
+def parse_main_conf(text: str) -> MainConf:
+    """Parse the INI subset connman's main.conf uses."""
+    section = ""
+    raw: Dict[Tuple[str, str], str] = {}
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith(("#", ";")):
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            section = line[1:-1].strip()
+            continue
+        key, separator, value = line.partition("=")
+        if not separator:
+            raise MainConfError(f"line {line_number}: expected key=value, got {line!r}")
+        raw[(section, key.strip())] = value.strip()
+
+    fallback: List[str] = []
+    for entry in raw.get(("General", "FallbackNameservers"), "").split(","):
+        entry = entry.strip()
+        if entry:
+            fallback.append(entry)
+    return MainConf(
+        fallback_nameservers=tuple(fallback),
+        enable_online_check=_parse_bool(
+            raw.get(("General", "EnableOnlineCheck"), "true"), "EnableOnlineCheck"
+        ),
+        allow_hostname_updates=_parse_bool(
+            raw.get(("General", "AllowHostnameUpdates"), "true"), "AllowHostnameUpdates"
+        ),
+        single_connected_technology=_parse_bool(
+            raw.get(("General", "SingleConnectedTechnology"), "false"),
+            "SingleConnectedTechnology",
+        ),
+        raw=raw,
+    )

@@ -1,0 +1,174 @@
+"""The Connman daemon: boot, DNS-proxy service loop, crash/compromise state.
+
+One :class:`ConnmanDaemon` owns one emulated process per boot.  Booting
+draws a fresh memory layout (so ASLR re-randomizes on every restart, like
+``fork``+``exec`` on the real device) and reinstalls the per-boot canary.
+The daemon runs as root — "Connman natively runs with root permissions, so
+no permission change is required" (§III).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Union
+
+from ..binfmt import LoadedProcess, build_connman, build_libc, load_process
+from ..cpu import NativeFunction
+from ..cpu.events import _EmulationStop
+from ..defenses import NONE, ProtectionProfile, ReturnAddressGuard, ShadowStackCfi, StackCanary
+from ..dns import Message, ResourceRecord, make_response
+from ..mem import AslrPolicy
+from .cache import DnsCache
+from .dnsproxy import DnsProxyCore
+from .frames import frame_model
+from .gueststore import GuestBackedDnsCache
+from .outcomes import DaemonEvent, EventKind
+from .version import ConnmanVersion
+
+#: Transport callable: query bytes -> reply bytes (or None on drop/timeout).
+Transport = "callable"
+
+
+def _resume_stop(_ctx):
+    raise _EmulationStop("daemon-continue", "returned to dnsproxy event loop")
+
+
+class ConnmanDaemon:
+    """A bootable, exploitable, restartable Connman instance."""
+
+    def __init__(
+        self,
+        arch: str = "x86",
+        version: Union[str, ConnmanVersion] = "1.34",
+        profile: ProtectionProfile = NONE,
+        rng: Optional[random.Random] = None,
+        name: str = "connmand",
+    ):
+        self.arch = arch
+        self.version = (
+            version if isinstance(version, ConnmanVersion) else ConnmanVersion.parse(version)
+        )
+        self.profile = profile
+        self.rng = rng or random.Random(0xC0111)
+        self.name = name
+        self.binary = build_connman(arch, str(self.version), seed=profile.diversity_seed)
+        self.libc_image = build_libc(arch)
+        self.frame = frame_model(arch)
+        #: Replaced with a guest-memory-backed store at every boot; the
+        #: host-dict fallback only exists until the first boot() runs.
+        self.cache = DnsCache()
+        self.events: List[DaemonEvent] = []
+        self.boots = 0
+        self.crashed = False
+        self._pending_id: Optional[int] = None
+        self.loaded: Optional[LoadedProcess] = None
+        self.proxy: Optional[DnsProxyCore] = None
+        self.boot()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def boot(self) -> None:
+        """(Re)start the daemon: fresh process, fresh ASLR draw, fresh canary."""
+        layout = AslrPolicy(
+            enabled=self.profile.aslr,
+            libc_slide_pages=self.profile.aslr_entropy_pages,
+        ).instantiate(self.arch, self.rng)
+        self.loaded = load_process(
+            self.binary,
+            self.libc_image,
+            layout,
+            wx_enabled=self.profile.wx,
+            uid=0,  # root, as shipped
+            name=self.name,
+        )
+        self.loaded.process.register_native(
+            self.loaded.address_of("dnsproxy_resume"),
+            NativeFunction("dnsproxy_resume", _resume_stop),
+        )
+        canary = StackCanary(self.rng) if self.profile.canary else None
+        ret_guard = ReturnAddressGuard(self.rng) if self.profile.ret_guard else None
+        if self.profile.cfi:
+            self.loaded.process.cfi = ShadowStackCfi.for_loaded(self.loaded)
+        self.proxy = DnsProxyCore(self.loaded, self.version, self.frame, canary,
+                                  ret_guard=ret_guard)
+        # The cache lives inside the process (the dns_cache_storage .bss
+        # reservation), so it starts empty on every (re)boot — as it should.
+        storage = self.loaded.symbol("dns_cache_storage")
+        self.cache = GuestBackedDnsCache(
+            self.loaded.process, storage.address, storage.size
+        )
+        self.boots += 1
+        self.crashed = False
+        self._pending_id = None
+
+    restart = boot
+
+    @property
+    def alive(self) -> bool:
+        return not self.crashed and self.loaded is not None and self.loaded.process.alive
+
+    @property
+    def compromised(self) -> bool:
+        return any(event.kind == EventKind.COMPROMISED for event in self.events)
+
+    # -- the DNS-proxy data path ----------------------------------------------------
+
+    def handle_upstream_reply(
+        self, reply: Optional[bytes], expected_id: Optional[int] = None
+    ) -> DaemonEvent:
+        """Feed one upstream reply through the vulnerable parser."""
+        if not self.alive:
+            return DaemonEvent(kind=EventKind.DROPPED, detail="daemon is down")
+        if reply is None:
+            return DaemonEvent(kind=EventKind.DROPPED, detail="upstream timeout")
+        assert self.proxy is not None
+        event = self.proxy.handle_reply(reply, expected_id=expected_id)
+        self.events.append(event)
+        if event.kind == EventKind.RESPONDED:
+            for cached_name, address in event.cached:
+                if cached_name:
+                    self.cache.put(cached_name, address)
+        elif event.kind in (EventKind.CRASHED, EventKind.HUNG, EventKind.COMPROMISED):
+            # Crash, hang, or image replacement: the service stops serving.
+            self.crashed = True
+        return event
+
+    def handle_client_query(self, packet: bytes, upstream) -> Optional[bytes]:
+        """Full proxy path: local client query -> cache or upstream -> answer."""
+        if not self.alive:
+            return None
+        try:
+            query = Message.decode(packet)
+        except Exception:
+            return None
+        if query.is_response or not query.questions:
+            return None
+        question = query.questions[0]
+        cached = self.cache.get(question.name)
+        if cached is not None:
+            answer = ResourceRecord.a(question.name, cached)
+            return make_response(query, (answer,)).encode()
+        self._pending_id = query.id
+        reply = upstream(packet)
+        event = self.handle_upstream_reply(reply, expected_id=self._pending_id)
+        if event.kind != EventKind.RESPONDED:
+            return None
+        fresh = self.cache.get(question.name)
+        if fresh is not None:
+            return make_response(query, (ResourceRecord.a(question.name, fresh),)).encode()
+        # Parsed fine but cached under another owner (e.g. a CNAME chain):
+        # dnsproxy relays the upstream response to the client verbatim.
+        return reply
+
+    # -- observability -----------------------------------------------------------------
+
+    @property
+    def last_event(self) -> Optional[DaemonEvent]:
+        return self.events[-1] if self.events else None
+
+    def status(self) -> str:
+        state = "compromised" if self.compromised else ("down" if not self.alive else "running")
+        return (
+            f"{self.name} (connman {self.version}, {self.arch}, "
+            f"protections: {self.profile.label()}) — {state}, boots={self.boots}"
+        )

@@ -1,0 +1,119 @@
+"""A DNS cache that lives inside the victim process's memory.
+
+Real Connman keeps its dnsproxy cache in process memory; this backing
+store puts ours into the emulated ``.bss`` (the ``dns_cache_storage``
+reservation in the binary), so cached entries are inspectable with the
+debugger, vanish with the process on crash/restart, and are — like
+everything else in the image — potential raw material for exploitation.
+
+Entry wire format, packed sequentially from the region start::
+
+    u8  name_length        (0 terminates the table)
+    u8  name[name_length]
+    u8  address[4]         (IPv4)
+    u32 expiry             (simulated-clock seconds)
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..cpu import Process
+
+ENTRY_OVERHEAD = 1 + 4 + 4
+MAX_NAME = 255
+
+
+class GuestBackedDnsCache:
+    """Cache with the same interface shape as :class:`DnsCache`, stored in
+    a region of the emulated address space."""
+
+    def __init__(self, process: Process, base: int, size: int):
+        self.process = process
+        self.base = base
+        self.size = size
+        self._clock = 0
+        self.clear()
+
+    # -- clock -------------------------------------------------------------
+
+    def advance(self, seconds: float) -> None:
+        self._clock += int(seconds)
+
+    # -- raw table walking ----------------------------------------------------
+
+    def _entries(self) -> List[Tuple[int, str, str, int]]:
+        """(offset, name, address, expiry) for every live slot."""
+        memory = self.process.memory
+        entries = []
+        cursor = self.base
+        end = self.base + self.size
+        while cursor < end:
+            name_length = memory.read_u8(cursor)
+            if name_length == 0:
+                break
+            name = memory.read(cursor + 1, name_length).decode("latin-1")
+            address = ".".join(
+                str(byte) for byte in memory.read(cursor + 1 + name_length, 4)
+            )
+            expiry = memory.read_u32(cursor + 1 + name_length + 4)
+            entries.append((cursor, name, address, expiry))
+            cursor += ENTRY_OVERHEAD + name_length
+        return entries
+
+    def _append_offset(self) -> int:
+        entries = self._entries()
+        if not entries:
+            return self.base
+        offset, name, _address, _expiry = entries[-1]
+        return offset + ENTRY_OVERHEAD + len(name)
+
+    # -- cache interface ------------------------------------------------------------
+
+    def put(self, name: str, address: str, ttl: int = 300) -> bool:
+        """Store one entry; returns False when it cannot be stored.
+
+        The guest table is IPv4-only (4-byte address field); AAAA results
+        pass through the proxy but are not cached here.
+        """
+        if len(name) > MAX_NAME:
+            return False
+        parts = address.split(".")
+        if len(parts) != 4 or not all(part.isdigit() and int(part) <= 255 for part in parts):
+            return False
+        encoded = name.lower().encode("latin-1")
+        record_size = ENTRY_OVERHEAD + len(encoded)
+        cursor = self._append_offset()
+        if cursor + record_size + 1 > self.base + self.size:
+            # Full: evict everything (connman-style wholesale flush).
+            self.clear()
+            cursor = self.base
+        memory = self.process.memory
+        memory.write_u8(cursor, len(encoded))
+        memory.write(cursor + 1, encoded)
+        memory.write(cursor + 1 + len(encoded),
+                     bytes(int(part) for part in address.split(".")))
+        memory.write_u32(cursor + 1 + len(encoded) + 4, self._clock + ttl)
+        memory.write_u8(cursor + record_size, 0)  # table terminator
+        return True
+
+    def get(self, name: str) -> Optional[str]:
+        wanted = name.lower()
+        for _offset, entry_name, address, expiry in self._entries():
+            if entry_name == wanted and expiry > self._clock:
+                return address
+        return None
+
+    def clear(self) -> None:
+        self.process.memory.write_u8(self.base, 0)
+
+    def __len__(self) -> int:
+        return sum(1 for entry in self._entries() if entry[3] > self._clock)
+
+    def dump(self) -> str:
+        """Debugger view of the guest-resident table."""
+        lines = [f"dns cache @ {self.base:#010x} ({self.size:#x} bytes):"]
+        for offset, name, address, expiry in self._entries():
+            state = "live" if expiry > self._clock else "expired"
+            lines.append(f"  +{offset - self.base:#06x} {name} -> {address} [{state}]")
+        return "\n".join(lines)

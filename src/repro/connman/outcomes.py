@@ -1,0 +1,47 @@
+"""Observable daemon outcomes for one handled DNS reply."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..cpu import ExecutionResult, SpawnRecord
+
+
+class EventKind(enum.Enum):
+    """What happened when the daemon processed one upstream reply."""
+
+    RESPONDED = "responded"      # parsed, cached, answered the client
+    DROPPED = "dropped"          # malformed/suspicious reply discarded
+    CRASHED = "crashed"          # the DoS outcome (SIGSEGV/SIGABRT/SIGILL)
+    COMPROMISED = "compromised"  # the RCE outcome: attacker-controlled exec
+    HUNG = "hung"                # runaway control flow, killed by budget
+
+
+@dataclass
+class DaemonEvent:
+    kind: EventKind
+    detail: str = ""
+    signal: Optional[str] = None
+    spawn: Optional[SpawnRecord] = None
+    cached: List[Tuple[str, str]] = field(default_factory=list)
+    execution: Optional[ExecutionResult] = None
+
+    @property
+    def is_root_shell(self) -> bool:
+        return self.spawn is not None and self.spawn.is_root_shell
+
+    @property
+    def is_dos(self) -> bool:
+        return self.kind in (EventKind.CRASHED, EventKind.HUNG)
+
+    def describe(self) -> str:
+        text = self.kind.value
+        if self.signal:
+            text += f" ({self.signal})"
+        if self.spawn is not None:
+            text += f" -> {self.spawn.path} uid={self.spawn.uid}"
+        if self.detail:
+            text += f": {self.detail}"
+        return text

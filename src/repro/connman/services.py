@@ -1,0 +1,200 @@
+"""Connman's service manager: the connection-management half of the daemon.
+
+CVE-2017-12865 lives in the DNS proxy, but Connman's day job is managing
+*services* — one per reachable network (Wi-Fi SSID, Ethernet link) — and
+walking each through the documented state machine::
+
+    idle -> association -> configuration -> ready -> online
+                                        \\-> failure
+
+This module models that lifecycle the way the IoT device uses it: services
+are discovered from a radio scan, `autoconnect` picks the preferred one
+(type priority, then signal strength — the roaming rule the Pineapple
+exploits lives at this layer), association runs the Wi-Fi join + DHCP, and
+the online check is a DNS resolution *through the dnsproxy* — which is
+exactly how a freshly-joined rogue AP gets its first shot at the parser.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..net import AccessPoint, RadioEnvironment, WirelessStation
+
+
+class ServiceType(enum.Enum):
+    ETHERNET = "ethernet"
+    WIFI = "wifi"
+    CELLULAR = "cellular"
+    BLUETOOTH = "bluetooth"
+
+
+#: Autoconnect preference, highest first (Connman's default ordering).
+TYPE_PRIORITY = (ServiceType.ETHERNET, ServiceType.WIFI, ServiceType.CELLULAR,
+                 ServiceType.BLUETOOTH)
+
+
+class ServiceState(enum.Enum):
+    IDLE = "idle"
+    ASSOCIATION = "association"
+    CONFIGURATION = "configuration"
+    READY = "ready"
+    ONLINE = "online"
+    FAILURE = "failure"
+
+
+@dataclass
+class NetworkService:
+    """One connectable network as Connman sees it."""
+
+    service_id: str
+    service_type: ServiceType
+    name: str
+    strength: int = 0  # 0-100, derived from dBm for Wi-Fi
+    state: ServiceState = ServiceState.IDLE
+    access_point: Optional[AccessPoint] = None
+    nameservers: List[str] = field(default_factory=list)
+    ipv4_address: Optional[str] = None
+    error: str = ""
+
+    @property
+    def connected(self) -> bool:
+        return self.state in (ServiceState.READY, ServiceState.ONLINE)
+
+    def describe(self) -> str:
+        return (
+            f"{self.service_id} [{self.service_type.value}] {self.name!r} "
+            f"strength={self.strength} state={self.state.value}"
+        )
+
+
+def strength_from_dbm(signal_dbm: int) -> int:
+    """Map dBm to Connman's 0-100 strength scale (clamped linear)."""
+    return max(0, min(100, 2 * (signal_dbm + 100)))
+
+
+class ServiceManager:
+    """Discovers, orders, and connects services for one device."""
+
+    def __init__(self, station: WirelessStation,
+                 online_check: Optional[Callable[[], bool]] = None):
+        self.station = station
+        self.online_check = online_check
+        self._services: Dict[str, NetworkService] = {}
+        self.current: Optional[NetworkService] = None
+
+    # -- discovery ---------------------------------------------------------------
+
+    def scan_wifi(self, radio: RadioEnvironment) -> List[NetworkService]:
+        """Refresh Wi-Fi services from the air; stale entries disappear."""
+        seen: Dict[str, NetworkService] = {}
+        for ap in radio.scan():
+            service_id = f"wifi_{ap.bssid.replace(':', '')}_{ap.ssid}"
+            existing = self._services.get(service_id)
+            if existing is not None:
+                existing.strength = strength_from_dbm(ap.signal_dbm)
+                existing.access_point = ap
+                seen[service_id] = existing
+            else:
+                seen[service_id] = NetworkService(
+                    service_id=service_id,
+                    service_type=ServiceType.WIFI,
+                    name=ap.ssid,
+                    strength=strength_from_dbm(ap.signal_dbm),
+                    access_point=ap,
+                )
+        # Keep non-wifi services (e.g. ethernet), replace the wifi set.
+        kept = {
+            sid: svc for sid, svc in self._services.items()
+            if svc.service_type is not ServiceType.WIFI
+        }
+        kept.update(seen)
+        self._services = kept
+        if self.current is not None and self.current.service_id not in self._services:
+            self.current.state = ServiceState.IDLE
+            self.current = None
+        return self.services()
+
+    def add_ethernet(self, name: str = "Wired") -> NetworkService:
+        service = NetworkService(
+            service_id=f"ethernet_{name.lower()}",
+            service_type=ServiceType.ETHERNET,
+            name=name,
+            strength=100,
+        )
+        self._services[service.service_id] = service
+        return service
+
+    def services(self) -> List[NetworkService]:
+        """All services in autoconnect order."""
+        return sorted(
+            self._services.values(),
+            key=lambda svc: (TYPE_PRIORITY.index(svc.service_type), -svc.strength),
+        )
+
+    def service(self, service_id: str) -> NetworkService:
+        try:
+            return self._services[service_id]
+        except KeyError:
+            raise KeyError(f"no service {service_id!r}") from None
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def connect(self, service: NetworkService) -> NetworkService:
+        """Walk one service through the state machine."""
+        if service.service_type is not ServiceType.WIFI:
+            raise ValueError(f"only wifi connect is modeled, not {service.service_type}")
+        if service.access_point is None:
+            service.state = ServiceState.FAILURE
+            service.error = "no access point"
+            return service
+        service.state = ServiceState.ASSOCIATION
+        try:
+            service.state = ServiceState.CONFIGURATION
+            record = self.station.associate(service.access_point)
+        except RuntimeError as why:  # DHCP pool exhausted etc.
+            service.state = ServiceState.FAILURE
+            service.error = str(why)
+            return service
+        service.ipv4_address = record.ip
+        service.nameservers = [record.dns_server]
+        if self.current is not None and self.current is not service:
+            self.current.state = ServiceState.IDLE
+        service.state = ServiceState.READY
+        self.current = service
+        if self.online_check is not None and self.online_check():
+            service.state = ServiceState.ONLINE
+        return service
+
+    def autoconnect(self) -> Optional[NetworkService]:
+        """Connect the preferred service if it isn't the current one.
+
+        This is the roaming decision the evil twin wins: a stronger AP for
+        a known SSID produces a higher-strength service that outranks the
+        current association.
+        """
+        known = {ssid for ssid in self.station.known_ssids}
+        candidates = [
+            svc for svc in self.services()
+            if svc.service_type is not ServiceType.WIFI or svc.name in known
+        ]
+        if not candidates:
+            return None
+        best = candidates[0]
+        if best is self.current and self.current.connected:
+            return None
+        return self.connect(best)
+
+    def disconnect(self) -> None:
+        if self.current is not None:
+            self.current.state = ServiceState.IDLE
+            self.current = None
+
+    def describe(self) -> str:
+        lines = ["services (autoconnect order):"]
+        for service in self.services():
+            marker = "*" if service is self.current else " "
+            lines.append(f" {marker} {service.describe()}")
+        return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Connman version model and the CVE-2017-12865 fix boundary."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+from typing import Tuple
+
+#: The dnsproxy bounds-check fix landed in this release (August 2017).
+FIXED_IN = (1, 35)
+
+CVE_ID = "CVE-2017-12865"
+
+
+@total_ordering
+@dataclass(frozen=True)
+class ConnmanVersion:
+    major: int
+    minor: int
+
+    @classmethod
+    def parse(cls, text: str) -> "ConnmanVersion":
+        parts = text.strip().split(".")
+        if len(parts) < 2:
+            raise ValueError(f"bad connman version {text!r}")
+        try:
+            return cls(major=int(parts[0]), minor=int(parts[1]))
+        except ValueError:
+            raise ValueError(f"bad connman version {text!r}") from None
+
+    @property
+    def tuple(self) -> Tuple[int, int]:
+        return (self.major, self.minor)
+
+    @property
+    def is_vulnerable(self) -> bool:
+        """True for 1.34 and below — every release before the 2017-08 patch."""
+        return self.tuple < FIXED_IN
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, str):
+            other = ConnmanVersion.parse(other)
+        if not isinstance(other, ConnmanVersion):
+            return NotImplemented
+        return self.tuple == other.tuple
+
+    def __hash__(self) -> int:
+        return hash(self.tuple)
+
+    def __lt__(self, other: "ConnmanVersion") -> bool:
+        if isinstance(other, str):
+            other = ConnmanVersion.parse(other)
+        return self.tuple < other.tuple
+
+    def __str__(self) -> str:
+        return f"{self.major}.{self.minor}"
+
+
+#: Releases referenced by the paper's firmware survey.
+KNOWN_VERSIONS = tuple(
+    ConnmanVersion(1, minor) for minor in range(24, 38)
+)
+LAST_VULNERABLE = ConnmanVersion(1, 34)
+FIRST_FIXED = ConnmanVersion(*FIXED_IN)

@@ -1,0 +1,114 @@
+"""Exploit reliability study (E14).
+
+The paper reports its exploits succeed "under multiple circumstances, with
+or without the aid of gdb" — a qualitative reliability claim.  This module
+quantifies it: each technique is thrown at N freshly-booted victims (fresh
+ASLR draw each boot, one exploit built once from bench recon) and the
+success rate is tabulated.  The expected shape:
+
+* techniques that use only non-randomized facts (ROP, jmp-esp) are
+  deterministic: N/N against their protection level;
+* techniques that embed randomized absolutes (ret2libc, vanilla code
+  injection) are N/N without ASLR and ~0/N with it — the residual being
+  the 1-in-2^entropy lottery the brute-force experiment (E10) exploits.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from ..connman import ConnmanDaemon
+from ..defenses import NONE, WX, WX_ASLR, ProtectionProfile
+from ..exploit import (
+    ArmCodeInjection,
+    ArmExeclpGadget,
+    ArmRopMemcpyExeclp,
+    X86CodeInjection,
+    X86JmpEspInjection,
+    X86Ret2Libc,
+    X86RopMemcpyExeclp,
+    deliver,
+)
+from .scenarios import AttackScenario, attacker_knowledge
+
+ASLR_ONLY = ProtectionProfile(wx=False, aslr=True)
+
+
+@dataclass(frozen=True)
+class ReliabilityCell:
+    """One (technique, victim-profile) reliability measurement."""
+
+    technique: str
+    arch: str
+    victim_profile: str
+    successes: int
+    trials: int
+    expectation: str  # "always" | "never" | "lottery"
+
+    @property
+    def rate(self) -> float:
+        return self.successes / self.trials if self.trials else 0.0
+
+    @property
+    def matches_expectation(self) -> bool:
+        if self.expectation == "always":
+            return self.successes == self.trials
+        if self.expectation == "never":
+            return self.successes == 0
+        # "lottery": sub-10% is the 1-in-2^entropy residual.
+        return self.rate < 0.1
+
+    def row(self):
+        return (
+            self.technique, self.arch, self.victim_profile,
+            f"{self.successes}/{self.trials}", self.expectation,
+        )
+
+
+#: (label, arch, builder factory, recon profile, blind?, victim profile,
+#:  expectation)
+STUDY_PLAN = (
+    ("code-injection", "x86", X86CodeInjection, NONE, False, NONE, "always"),
+    ("code-injection", "arm", ArmCodeInjection, NONE, False, NONE, "always"),
+    ("code-injection", "x86", X86CodeInjection, NONE, False, ASLR_ONLY, "lottery"),
+    ("jmp-esp", "x86", X86JmpEspInjection, ASLR_ONLY, True, ASLR_ONLY, "always"),
+    ("ret2libc", "x86", X86Ret2Libc, WX, False, WX, "always"),
+    ("ret2libc", "x86", X86Ret2Libc, WX_ASLR, True, WX_ASLR, "lottery"),
+    ("gadget-execlp", "arm", ArmExeclpGadget, WX, False, WX, "always"),
+    ("rop", "x86", X86RopMemcpyExeclp, WX_ASLR, True, WX_ASLR, "always"),
+    ("rop", "arm", ArmRopMemcpyExeclp, WX_ASLR, True, WX_ASLR, "always"),
+)
+
+
+def run_reliability_study(trials: int = 10, seed: int = 0xE14) -> List[ReliabilityCell]:
+    """Build each exploit once, deliver it to ``trials`` fresh boots."""
+    cells: List[ReliabilityCell] = []
+    for label, arch, builder_cls, recon_profile, blind, victim_profile, expectation in STUDY_PLAN:
+        knowledge = attacker_knowledge(
+            AttackScenario(arch, "reliability", recon_profile)
+        ) if not blind else attacker_knowledge(
+            AttackScenario(arch, "reliability", victim_profile)
+        )
+        exploit = builder_cls().build(knowledge)
+        rng = random.Random(seed ^ hash((label, arch, victim_profile.label())) & 0xFFFF)
+        successes = 0
+        victim = ConnmanDaemon(arch=arch, profile=victim_profile, rng=rng)
+        for _trial in range(trials):
+            if not victim.alive:
+                victim.restart()
+            if deliver(exploit, victim, rng=rng).got_root_shell:
+                successes += 1
+                victim.restart()
+        cells.append(
+            ReliabilityCell(
+                technique=label,
+                arch=arch,
+                victim_profile=victim_profile.label(),
+                successes=successes,
+                trials=trials,
+                expectation=expectation,
+            )
+        )
+    return cells

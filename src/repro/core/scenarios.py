@@ -1,0 +1,103 @@
+"""The paper's attack scenarios as runnable objects.
+
+One :class:`AttackScenario` = one cell of the §III experiment matrix
+(architecture x protection level).  Running it performs the full loop:
+boot the victim, recon on an attacker bench copy, build the strategy the
+ladder prescribes, deliver over DNS, observe the outcome.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..connman import ConnmanDaemon, DaemonEvent, EventKind
+from ..defenses import PAPER_LEVELS, ProtectionProfile
+from ..exploit import Debugger, Exploit, ExploitError, TargetKnowledge, builder_for, deliver
+
+
+@dataclass(frozen=True)
+class AttackScenario:
+    arch: str
+    level_label: str
+    profile: ProtectionProfile
+    version: str = "1.34"
+
+    @property
+    def key(self) -> str:
+        return f"{self.arch}/{self.level_label}"
+
+
+#: The six §III-A/B/C cells, in paper order.
+PAPER_MATRIX: Tuple[AttackScenario, ...] = tuple(
+    AttackScenario(arch=arch, level_label=label, profile=profile)
+    for arch in ("x86", "arm")
+    for label, profile in PAPER_LEVELS
+)
+
+
+@dataclass
+class ScenarioResult:
+    scenario: AttackScenario
+    exploit: Optional[Exploit]
+    event: Optional[DaemonEvent]
+    error: str = ""
+
+    @property
+    def succeeded(self) -> bool:
+        return (
+            self.event is not None
+            and self.event.kind == EventKind.COMPROMISED
+            and self.event.is_root_shell
+        )
+
+    @property
+    def outcome(self) -> str:
+        if self.error:
+            return f"not built: {self.error}"
+        assert self.event is not None
+        return "root shell" if self.succeeded else self.event.describe()
+
+    def row(self) -> Tuple[str, str, str, str]:
+        strategy = self.exploit.strategy if self.exploit else "-"
+        return (self.scenario.arch, self.scenario.level_label, strategy, self.outcome)
+
+
+def attacker_knowledge(scenario: AttackScenario,
+                       rng: Optional[random.Random] = None) -> TargetKnowledge:
+    """Recon on the attacker's bench copy of the same firmware (ASLR off on
+    the bench; blindness matches the victim's ASLR setting)."""
+    bench = ConnmanDaemon(
+        arch=scenario.arch,
+        version=scenario.version,
+        profile=scenario.profile.with_(aslr=False),
+        rng=rng,
+    )
+    return Debugger(bench).knowledge(aslr_blind=scenario.profile.aslr)
+
+
+def run_scenario(scenario: AttackScenario,
+                 rng: Optional[random.Random] = None) -> ScenarioResult:
+    """One full attack: boot victim, recon, build, deliver, observe."""
+    rng = rng or random.Random(0x5EED)
+    victim = ConnmanDaemon(
+        arch=scenario.arch, version=scenario.version, profile=scenario.profile,
+        rng=rng,
+    )
+    knowledge = attacker_knowledge(scenario)
+    builder = builder_for(scenario.arch, scenario.profile)
+    try:
+        exploit = builder.build(knowledge)
+    except ExploitError as why:
+        return ScenarioResult(scenario=scenario, exploit=None, event=None, error=str(why))
+    report = deliver(exploit, victim, rng=rng)
+    return ScenarioResult(scenario=scenario, exploit=exploit, event=report.event)
+
+
+def run_paper_matrix(version: str = "1.34") -> List[ScenarioResult]:
+    """All six cells of the §III matrix."""
+    return [
+        run_scenario(AttackScenario(s.arch, s.level_label, s.profile, version))
+        for s in PAPER_MATRIX
+    ]

@@ -1,0 +1,199 @@
+"""Tiny ARMv7 (ARM-mode, little-endian) assembler for the emulated subset.
+
+Encodings follow the ARM ARM: 4-byte instructions, condition field fixed to
+AL (0b1110).  Covers exactly what the connman binary factory, the ARM
+shellcode and the gadget corpus need — data processing, LDM/STM on sp
+(push/pop), branches, ``bx``/``blx`` and ``svc``.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable
+
+COND_AL = 0xE
+
+_ALIASES = {"sp": 13, "lr": 14, "pc": 15, "fp": 11, "ip": 12}
+
+
+def reg_number(name: str) -> int:
+    name = name.lower()
+    if name in _ALIASES:
+        return _ALIASES[name]
+    if name.startswith("r"):
+        number = int(name[1:])
+        if 0 <= number <= 15:
+            return number
+    raise ValueError(f"unknown ARM register {name!r}")
+
+
+def _word(value: int) -> bytes:
+    return struct.pack("<I", value & 0xFFFFFFFF)
+
+
+def encode_arm_immediate(value: int) -> int:
+    """Encode a 32-bit value as an 8-bit immediate with even rotation.
+
+    Returns the 12-bit operand2 field; raises if the value is unencodable
+    (same constraint real assemblers enforce).
+    """
+    value &= 0xFFFFFFFF
+    for rotation in range(16):
+        rotated = ((value << (2 * rotation)) | (value >> (32 - 2 * rotation))) & 0xFFFFFFFF if rotation else value
+        if rotated < 256:
+            return (rotation << 8) | rotated
+    raise ValueError(f"{value:#x} is not encodable as an ARM rotated immediate")
+
+
+def _data_processing_imm(opcode: int, set_flags: bool, rn: int, rd: int, value: int) -> bytes:
+    operand2 = encode_arm_immediate(value)
+    word = (COND_AL << 28) | (1 << 25) | (opcode << 21) | (int(set_flags) << 20)
+    word |= (rn << 16) | (rd << 12) | operand2
+    return _word(word)
+
+
+def _data_processing_reg(opcode: int, set_flags: bool, rn: int, rd: int, rm: int) -> bytes:
+    word = (COND_AL << 28) | (opcode << 21) | (int(set_flags) << 20)
+    word |= (rn << 16) | (rd << 12) | rm
+    return _word(word)
+
+
+def mov_imm(rd: str, value: int) -> bytes:
+    return _data_processing_imm(0b1101, False, 0, reg_number(rd), value)
+
+
+def mov_reg(rd: str, rm: str) -> bytes:
+    return _data_processing_reg(0b1101, False, 0, reg_number(rd), reg_number(rm))
+
+
+def add_imm(rd: str, rn: str, value: int) -> bytes:
+    return _data_processing_imm(0b0100, False, reg_number(rn), reg_number(rd), value)
+
+
+def sub_imm(rd: str, rn: str, value: int) -> bytes:
+    return _data_processing_imm(0b0010, False, reg_number(rn), reg_number(rd), value)
+
+
+def add_reg(rd: str, rn: str, rm: str) -> bytes:
+    return _data_processing_reg(0b0100, False, reg_number(rn), reg_number(rd), reg_number(rm))
+
+
+def sub_reg(rd: str, rn: str, rm: str) -> bytes:
+    return _data_processing_reg(0b0010, False, reg_number(rn), reg_number(rd), reg_number(rm))
+
+
+def cmp_imm(rn: str, value: int) -> bytes:
+    return _data_processing_imm(0b1010, True, reg_number(rn), 0, value)
+
+
+def mvn_imm(rd: str, value: int) -> bytes:
+    return _data_processing_imm(0b1111, False, 0, reg_number(rd), value)
+
+
+def and_reg(rd: str, rn: str, rm: str) -> bytes:
+    return _data_processing_reg(0b0000, False, reg_number(rn), reg_number(rd), reg_number(rm))
+
+
+def orr_reg(rd: str, rn: str, rm: str) -> bytes:
+    return _data_processing_reg(0b1100, False, reg_number(rn), reg_number(rd), reg_number(rm))
+
+
+def eor_reg(rd: str, rn: str, rm: str) -> bytes:
+    return _data_processing_reg(0b0001, False, reg_number(rn), reg_number(rd), reg_number(rm))
+
+
+def and_imm(rd: str, rn: str, value: int) -> bytes:
+    return _data_processing_imm(0b0000, False, reg_number(rn), reg_number(rd), value)
+
+
+def orr_imm(rd: str, rn: str, value: int) -> bytes:
+    return _data_processing_imm(0b1100, False, reg_number(rn), reg_number(rd), value)
+
+
+def eor_imm(rd: str, rn: str, value: int) -> bytes:
+    return _data_processing_imm(0b0001, False, reg_number(rn), reg_number(rd), value)
+
+
+def nop() -> bytes:
+    """Canonical effect-free word; the paper's sled uses ``mov r1, r1``."""
+    return mov_reg("r0", "r0")
+
+
+def mov_r1_r1() -> bytes:
+    """The exact ARM 'NOP' word the paper uses for its sled."""
+    return mov_reg("r1", "r1")
+
+
+def _reglist(regs: Iterable[str]) -> int:
+    bits = 0
+    for name in regs:
+        bits |= 1 << reg_number(name)
+    if bits == 0:
+        raise ValueError("empty register list")
+    return bits
+
+
+def push(regs: Iterable[str]) -> bytes:
+    """STMDB sp!, {regs}"""
+    return _word((COND_AL << 28) | 0x092D0000 | _reglist(regs))
+
+
+def pop(regs: Iterable[str]) -> bytes:
+    """LDMIA sp!, {regs} — the gadget shape every ARM exploit in the paper uses."""
+    return _word((COND_AL << 28) | 0x08BD0000 | _reglist(regs))
+
+
+def bx(rm: str) -> bytes:
+    return _word((COND_AL << 28) | 0x012FFF10 | reg_number(rm))
+
+
+def blx_reg(rm: str) -> bytes:
+    """BLX <reg> — the trampoline gadget for the ASLR bypass (Listing 5)."""
+    return _word((COND_AL << 28) | 0x012FFF30 | reg_number(rm))
+
+
+def _branch(link: bool, origin: int, target: int) -> bytes:
+    offset = (target - (origin + 8)) >> 2
+    if not -(2**23) <= offset < 2**23:
+        raise ValueError(f"branch target out of range: {target:#x} from {origin:#x}")
+    word = (COND_AL << 28) | (0b101 << 25) | (int(link) << 24) | (offset & 0x00FFFFFF)
+    return _word(word)
+
+
+def b(origin: int, target: int) -> bytes:
+    return _branch(False, origin, target)
+
+
+def bl(origin: int, target: int) -> bytes:
+    return _branch(True, origin, target)
+
+
+def svc(imm: int = 0) -> bytes:
+    return _word((COND_AL << 28) | (0xF << 24) | (imm & 0x00FFFFFF))
+
+
+def _ldr_str(load: bool, rd: str, rn: str, offset: int, *, byte: bool = False) -> bytes:
+    up = offset >= 0
+    magnitude = abs(offset)
+    if magnitude >= 4096:
+        raise ValueError(f"ldr/str offset out of range: {offset}")
+    word = (COND_AL << 28) | (0b01 << 26) | (1 << 24)  # immediate, pre-indexed
+    word |= (int(up) << 23) | (int(byte) << 22) | (int(load) << 20)
+    word |= (reg_number(rn) << 16) | (reg_number(rd) << 12) | magnitude
+    return _word(word)
+
+
+def ldr(rd: str, rn: str, offset: int = 0) -> bytes:
+    return _ldr_str(True, rd, rn, offset)
+
+
+def str_(rd: str, rn: str, offset: int = 0) -> bytes:
+    return _ldr_str(False, rd, rn, offset)
+
+
+def ldrb(rd: str, rn: str, offset: int = 0) -> bytes:
+    return _ldr_str(True, rd, rn, offset, byte=True)
+
+
+def strb(rd: str, rn: str, offset: int = 0) -> bytes:
+    return _ldr_str(False, rd, rn, offset, byte=True)

@@ -1,0 +1,147 @@
+"""ARMv7 (ARM-mode) decoder for the emulated subset.
+
+Like the x86 decoder, this serves both the emulator (strict) and the gadget
+finder (tolerant); ``(bad)`` words are 4 bytes wide because ARM mode has a
+fixed instruction size.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Tuple
+
+from ..events import IllegalInstruction
+from ..isa import Instruction
+
+COND_AL = 0xE
+
+_DP_OPCODES = {
+    0b1101: "mov",
+    0b0100: "add",
+    0b0010: "sub",
+    0b1010: "cmp",
+    0b0000: "and",
+    0b0001: "eor",
+    0b1100: "orr",
+    0b1111: "mvn",
+}
+
+
+def _reg(number: int) -> str:
+    return f"r{number}"
+
+
+def _rotate_right(value: int, amount: int) -> int:
+    amount %= 32
+    if amount == 0:
+        return value & 0xFFFFFFFF
+    return ((value >> amount) | (value << (32 - amount))) & 0xFFFFFFFF
+
+
+def _reglist_names(bits: int) -> Tuple[str, ...]:
+    return tuple(_reg(i) for i in range(16) if bits & (1 << i))
+
+
+def decode_word(word: int, address: int, *, strict: bool = True) -> Instruction:
+    raw = struct.pack("<I", word)
+
+    def bad(reason: str) -> Instruction:
+        if strict:
+            raise IllegalInstruction(address, raw, reason)
+        return Instruction(address, 4, "(bad)", (), raw)
+
+    cond = (word >> 28) & 0xF
+    if cond != COND_AL:
+        return bad(f"unsupported condition field {cond:#x}")
+
+    body = word & 0x0FFFFFFF
+
+    # BX / BLX register (checked before generic data processing).
+    if (body & 0x0FFFFFF0) == 0x012FFF10:
+        return Instruction(address, 4, "bx", (_reg(body & 0xF),), raw)
+    if (body & 0x0FFFFFF0) == 0x012FFF30:
+        return Instruction(address, 4, "blx", (_reg(body & 0xF),), raw)
+
+    # SVC.
+    if (body >> 24) == 0xF:
+        return Instruction(address, 4, "svc", (body & 0x00FFFFFF,), raw)
+
+    # B / BL.
+    if (body >> 25) == 0b101:
+        link = bool(body & (1 << 24))
+        offset = body & 0x00FFFFFF
+        if offset & 0x00800000:
+            offset -= 0x01000000
+        target = (address + 8 + (offset << 2)) & 0xFFFFFFFF
+        return Instruction(address, 4, "bl" if link else "b", (target,), raw)
+
+    # LDM/STM on sp! (push/pop shapes only).
+    if (body & 0x0FFF0000) == 0x08BD0000:
+        return Instruction(address, 4, "pop", (_reglist_names(body & 0xFFFF),), raw)
+    if (body & 0x0FFF0000) == 0x092D0000:
+        return Instruction(address, 4, "push", (_reglist_names(body & 0xFFFF),), raw)
+
+    # LDR/STR immediate, pre-indexed, no writeback, word- or byte-sized.
+    if (body >> 26) == 0b01 and not (body & (1 << 25)):
+        pre = bool(body & (1 << 24))
+        up = bool(body & (1 << 23))
+        byte = bool(body & (1 << 22))
+        writeback = bool(body & (1 << 21))
+        load = bool(body & (1 << 20))
+        if pre and not writeback:
+            rn = _reg((body >> 16) & 0xF)
+            rd = _reg((body >> 12) & 0xF)
+            offset = body & 0xFFF
+            if not up:
+                offset = -offset
+            if byte:
+                mnemonic = "ldrb" if load else "strb"
+            else:
+                mnemonic = "ldr" if load else "str"
+            return Instruction(address, 4, mnemonic, (rd, rn, offset), raw)
+        return bad("unsupported LDR/STR form")
+
+    # Data processing.
+    if (body >> 26) == 0b00:
+        immediate = bool(body & (1 << 25))
+        opcode = (body >> 21) & 0xF
+        set_flags = bool(body & (1 << 20))
+        mnemonic = _DP_OPCODES.get(opcode)
+        if mnemonic is None:
+            return bad(f"unsupported data-processing opcode {opcode:#x}")
+        rn = _reg((body >> 16) & 0xF)
+        rd = _reg((body >> 12) & 0xF)
+        if immediate:
+            rotation = ((body >> 8) & 0xF) * 2
+            value = _rotate_right(body & 0xFF, rotation)
+            operand2: object = value
+        else:
+            if (body >> 4) & 0xFF:
+                return bad("shifted register operands not supported")
+            operand2 = _reg(body & 0xF)
+        suffix = "s" if set_flags and mnemonic != "cmp" else ""
+        operands: Tuple
+        if mnemonic in ("mov", "mvn"):
+            operands = (rd, operand2)
+        elif mnemonic == "cmp":
+            operands = (rn, operand2)
+        else:
+            operands = (rd, rn, operand2)
+        return Instruction(address, 4, mnemonic + suffix, operands, raw)
+
+    return bad(f"undecodable word {word:#010x}")
+
+
+def decode(data: bytes, address: int, offset: int = 0, *, strict: bool = True) -> Instruction:
+    chunk = data[offset : offset + 4]
+    if len(chunk) < 4:
+        raise IllegalInstruction(address, chunk, "truncated ARM word")
+    return decode_word(struct.unpack("<I", chunk)[0], address, strict=strict)
+
+
+def linear_sweep(data: bytes, base: int) -> List[Instruction]:
+    """Decode every aligned word; bad words become ``(bad)`` placeholders."""
+    instructions = []
+    for offset in range(0, len(data) - len(data) % 4, 4):
+        instructions.append(decode(data, base + offset, offset, strict=False))
+    return instructions

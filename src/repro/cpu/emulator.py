@@ -1,0 +1,114 @@
+"""Shared emulation loop for both architectures.
+
+The loop has a single rule the whole reproduction depends on: *native
+functions are address-triggered*.  When the program counter lands on a
+registered libc/PLT entry, the host handler runs; anywhere else, bytes are
+fetched (X-permission-checked — the W^X enforcement point) and executed.
+All outcomes, including exploit failures, are returned as
+:class:`ExecutionResult` rather than raised, so experiment code can tabulate
+them like the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..mem import MemoryFault
+from .events import CpuError, EmulationBudgetExceeded, _EmulationStop
+from .process import Process
+
+DEFAULT_STEP_BUDGET = 200_000
+
+
+@dataclass
+class ExecutionResult:
+    """How one emulation run ended."""
+
+    reason: str
+    steps: int
+    detail: str = ""
+    fault: Optional[BaseException] = None
+
+    @property
+    def spawned(self) -> bool:
+        """True when control flow reached an ``exec*`` image replacement."""
+        return self.reason == "execve"
+
+    @property
+    def crashed(self) -> bool:
+        return self.reason == "fault"
+
+    @property
+    def signal(self) -> Optional[str]:
+        return getattr(self.fault, "signal", None) if self.fault is not None else None
+
+    def describe(self) -> str:
+        text = f"{self.reason} after {self.steps} steps"
+        if self.detail:
+            text += f": {self.detail}"
+        if self.signal:
+            text += f" [{self.signal}]"
+        return text
+
+
+class Emulator:
+    """Architecture-neutral run loop; subclasses implement :meth:`step`."""
+
+    def __init__(self, process: Process):
+        self.process = process
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _peek_text(self, address: int) -> str:
+        """Best-effort disassembly of the next instruction (tracing only)."""
+        try:
+            if self.process.arch == "x86":
+                from .x86.disasm import decode
+
+                segment = self.process.memory.segment_at(address)
+                window = self.process.memory.read(
+                    address, min(5, segment.end - address), check=False
+                )
+                return decode(window, address, strict=False).text()
+            from .arm.disasm import decode
+
+            window = self.process.memory.read(address, 4, check=False)
+            return decode(window, address, strict=False).text()
+        except Exception:
+            return "(unreadable)"
+
+    def run(self, max_steps: int = DEFAULT_STEP_BUDGET) -> ExecutionResult:
+        process = self.process
+        trace = getattr(process, "trace", None)
+        steps = 0
+        try:
+            while steps < max_steps:
+                native = process.native_at(process.pc)
+                if native is not None:
+                    if trace is not None:
+                        trace.record(process.pc, "native", f"{native.name}(...)")
+                    native.invoke(process)
+                else:
+                    if trace is not None:
+                        trace.record(process.pc, "insn", self._peek_text(process.pc))
+                    self.step()
+                steps += 1
+            raise EmulationBudgetExceeded(max_steps)
+        except _EmulationStop as stop:
+            return ExecutionResult(stop.reason, steps, stop.detail)
+        except (MemoryFault, CpuError) as fault:
+            process.record_exit(code=139, signal=fault.signal)
+            return ExecutionResult("fault", steps, str(fault), fault=fault)
+
+
+def make_emulator(process: Process) -> Emulator:
+    """Instantiate the right backend for the process architecture."""
+    if process.arch == "x86":
+        from .x86.emu import X86Emulator
+
+        return X86Emulator(process)
+    from .arm.emu import ArmEmulator
+
+    return ArmEmulator(process)

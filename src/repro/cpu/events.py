@@ -1,0 +1,67 @@
+"""Control events raised or reported during emulation."""
+
+from __future__ import annotations
+
+
+class CpuError(Exception):
+    """Base class for CPU-level faults."""
+
+    signal = "SIGILL"
+
+
+class IllegalInstruction(CpuError):
+    """Fetch decoded to bytes the CPU cannot execute (SIGILL)."""
+
+    def __init__(self, address: int, raw: bytes, message: str = ""):
+        self.address = address
+        self.raw = raw
+        detail = message or f"illegal instruction {raw.hex()} at {address:#010x}"
+        super().__init__(detail)
+
+
+class EmulationBudgetExceeded(CpuError):
+    """The step budget ran out — treated as a hung process."""
+
+    signal = "SIGKILL"
+
+    def __init__(self, steps: int):
+        self.steps = steps
+        super().__init__(f"emulation exceeded {steps} steps")
+
+
+class ControlFlowViolation(CpuError):
+    """A CFI policy rejected a control transfer (defense from paper §IV)."""
+
+    signal = "SIGABRT"
+
+    def __init__(self, address: int, target: int, kind: str, message: str = ""):
+        self.address = address
+        self.target = target
+        self.kind = kind
+        detail = message or (
+            f"CFI: {kind} at {address:#010x} to disallowed target {target:#010x}"
+        )
+        super().__init__(detail)
+
+
+class CanaryClobbered(CpuError):
+    """Stack-smashing detected (``__stack_chk_fail`` equivalent)."""
+
+    signal = "SIGABRT"
+
+    def __init__(self, frame: str, expected: int, found: int):
+        self.frame = frame
+        self.expected = expected
+        self.found = found
+        super().__init__(
+            f"stack smashing detected in {frame}: canary {found:#010x} != {expected:#010x}"
+        )
+
+
+class _EmulationStop(Exception):
+    """Internal signal that the run loop should stop cleanly (never escapes)."""
+
+    def __init__(self, reason: str, detail: str = ""):
+        self.reason = reason
+        self.detail = detail
+        super().__init__(f"{reason}: {detail}" if detail else reason)

@@ -1,0 +1,60 @@
+"""Architecture-neutral instruction representation.
+
+Both the emulators and the gadget finder consume :class:`Instruction`
+objects, so one decoder per architecture serves execution *and* ROP-gadget
+discovery — the same property the paper relies on when it points
+``ropper``/``ROPgadget`` at the compiled Connman binary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+X86 = "x86"
+ARM = "arm"
+
+SUPPORTED_ARCHES = (X86, ARM)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction."""
+
+    address: int
+    size: int
+    mnemonic: str
+    operands: Tuple = field(default_factory=tuple)
+    raw: bytes = b""
+
+    @property
+    def end(self) -> int:
+        return self.address + self.size
+
+    @property
+    def is_bad(self) -> bool:
+        """True for bytes the decoder could not interpret."""
+        return self.mnemonic == "(bad)"
+
+    def text(self) -> str:
+        """Assembly-ish rendering for logs and gadget listings."""
+        if not self.operands:
+            return self.mnemonic
+        parts = []
+        for operand in self.operands:
+            if isinstance(operand, int):
+                parts.append(f"{operand:#x}")
+            elif isinstance(operand, tuple):
+                parts.append("{" + ", ".join(operand) + "}")
+            else:
+                parts.append(str(operand))
+        return f"{self.mnemonic} {', '.join(parts)}"
+
+    def __str__(self) -> str:
+        return f"{self.address:#010x}: {self.text()}"
+
+
+def check_arch(arch: str) -> str:
+    if arch not in SUPPORTED_ARCHES:
+        raise ValueError(f"unsupported architecture {arch!r}; expected one of {SUPPORTED_ARCHES}")
+    return arch

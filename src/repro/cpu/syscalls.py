@@ -1,0 +1,72 @@
+"""Linux 32-bit syscall model (``int 0x80`` on x86, ``svc #0`` on ARM EABI).
+
+Only the calls the paper's shellcode and our daemon runtime need are
+implemented; anything else is reported as an unknown syscall (``ENOSYS``)
+so stray control flow fails loudly instead of silently "succeeding".
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .events import _EmulationStop
+from .process import Process
+
+SYS_EXIT = 1
+SYS_WRITE = 4
+SYS_EXECVE = 11
+
+ENOSYS = 38
+EFAULT = 14
+
+
+def _read_argv(process: Process, argv_ptr: int) -> Tuple[str, ...]:
+    """Read a NULL-terminated char* array; NULL argv is accepted like Linux."""
+    if argv_ptr == 0:
+        return ()
+    argv: List[str] = []
+    cursor = argv_ptr
+    for _ in range(64):
+        entry = process.memory.read_u32(cursor)
+        if entry == 0:
+            break
+        argv.append(process.memory.read_cstring(entry).decode("latin-1"))
+        cursor += 4
+    return tuple(argv)
+
+
+def _do_execve(process: Process, path_ptr: int, argv_ptr: int) -> None:
+    path = process.memory.read_cstring(path_ptr).decode("latin-1")
+    argv = _read_argv(process, argv_ptr)
+    record = process.record_spawn(path, argv)
+    # execve replaces the image: the old program never runs again.
+    process.record_exit(code=0, signal=None)
+    raise _EmulationStop("execve", f"execve({record.path!r}, argv={record.argv}) uid={record.uid}")
+
+
+def dispatch(process: Process, number: int, args: Tuple[int, int, int]) -> int:
+    """Execute one syscall; returns the value for the result register.
+
+    Raises :class:`_EmulationStop` for calls that end emulation (execve/exit).
+    """
+    if number == SYS_EXIT:
+        process.record_exit(code=args[0] & 0xFF)
+        raise _EmulationStop("exit", f"exit({args[0] & 0xFF})")
+    if number == SYS_EXECVE:
+        _do_execve(process, args[0], args[1])
+    if number == SYS_WRITE:
+        # Output is accepted and discarded; length is the success value.
+        return args[2]
+    return (-ENOSYS) & 0xFFFFFFFF
+
+
+def dispatch_x86(process: Process) -> None:
+    regs = process.registers
+    result = dispatch(process, regs["eax"], (regs["ebx"], regs["ecx"], regs["edx"]))
+    regs["eax"] = result
+
+
+def dispatch_arm(process: Process) -> None:
+    regs = process.registers
+    result = dispatch(process, regs["r7"], (regs["r0"], regs["r1"], regs["r2"]))
+    regs["r0"] = result

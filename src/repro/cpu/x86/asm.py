@@ -1,0 +1,219 @@
+"""Tiny 32-bit x86 assembler covering the subset this system generates.
+
+Every byte sequence emitted here round-trips through
+:mod:`repro.cpu.x86.disasm`, which is property-tested; the connman binary
+builder, the shellcode library and the test suite are the only consumers.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..registers import X86_REG8, X86_REG_INDEX
+
+
+def _reg(name: str) -> int:
+    try:
+        return X86_REG_INDEX[name]
+    except KeyError:
+        raise ValueError(f"unknown x86 register {name!r}") from None
+
+
+def _reg8(name: str) -> int:
+    try:
+        return X86_REG8.index(name)
+    except ValueError:
+        raise ValueError(f"unknown x86 8-bit register {name!r}") from None
+
+
+def _modrm(mod: int, reg: int, rm: int) -> int:
+    return (mod << 6) | (reg << 3) | rm
+
+
+def _imm32(value: int) -> bytes:
+    return struct.pack("<I", value & 0xFFFFFFFF)
+
+
+def nop() -> bytes:
+    return b"\x90"
+
+
+def push_reg(name: str) -> bytes:
+    return bytes([0x50 + _reg(name)])
+
+
+def pop_reg(name: str) -> bytes:
+    return bytes([0x58 + _reg(name)])
+
+
+def push_imm32(value: int) -> bytes:
+    return b"\x68" + _imm32(value)
+
+
+def push_imm8(value: int) -> bytes:
+    return bytes([0x6A, value & 0xFF])
+
+
+def mov_reg_imm32(name: str, value: int) -> bytes:
+    return bytes([0xB8 + _reg(name)]) + _imm32(value)
+
+
+def mov_reg8_imm8(name: str, value: int) -> bytes:
+    return bytes([0xB0 + _reg8(name), value & 0xFF])
+
+
+def mov_reg_reg(dst: str, src: str) -> bytes:
+    """MOV r/m32, r32 (89 /r) with register-direct ModR/M."""
+    return bytes([0x89, _modrm(3, _reg(src), _reg(dst))])
+
+
+def xor_reg_reg(dst: str, src: str) -> bytes:
+    return bytes([0x31, _modrm(3, _reg(src), _reg(dst))])
+
+
+def add_reg_reg(dst: str, src: str) -> bytes:
+    return bytes([0x01, _modrm(3, _reg(src), _reg(dst))])
+
+
+def and_reg_reg(dst: str, src: str) -> bytes:
+    return bytes([0x21, _modrm(3, _reg(src), _reg(dst))])
+
+
+def or_reg_reg(dst: str, src: str) -> bytes:
+    return bytes([0x09, _modrm(3, _reg(src), _reg(dst))])
+
+
+def not_reg(name: str) -> bytes:
+    return bytes([0xF7, _modrm(3, 2, _reg(name))])
+
+
+def neg_reg(name: str) -> bytes:
+    return bytes([0xF7, _modrm(3, 3, _reg(name))])
+
+
+def shl_reg_imm8(name: str, count: int) -> bytes:
+    return bytes([0xC1, _modrm(3, 4, _reg(name)), count & 0x1F])
+
+
+def shr_reg_imm8(name: str, count: int) -> bytes:
+    return bytes([0xC1, _modrm(3, 5, _reg(name)), count & 0x1F])
+
+
+def xchg_eax_reg(name: str) -> bytes:
+    """XCHG eax, r32 (90+r); note 0x90 itself is xchg eax, eax == nop."""
+    return bytes([0x90 + _reg(name)])
+
+
+def mov_mem_reg(base: str, src: str) -> bytes:
+    """MOV [base], src — register-indirect store, no displacement."""
+    rm = _reg(base)
+    if rm in (4, 5):
+        raise ValueError(f"cannot encode [{base}] without SIB/disp")
+    return bytes([0x89, _modrm(0, _reg(src), rm)])
+
+
+def mov_reg_mem(dst: str, base: str) -> bytes:
+    """MOV dst, [base] — register-indirect load, no displacement."""
+    rm = _reg(base)
+    if rm in (4, 5):
+        raise ValueError(f"cannot encode [{base}] without SIB/disp")
+    return bytes([0x8B, _modrm(0, _reg(dst), rm)])
+
+
+def call_reg(name: str) -> bytes:
+    """CALL r32 (FF /2) — indirect call through a register."""
+    return bytes([0xFF, _modrm(3, 2, _reg(name))])
+
+
+def jmp_reg(name: str) -> bytes:
+    """JMP r32 (FF /4) — e.g. the classic ``jmp esp`` trampoline."""
+    return bytes([0xFF, _modrm(3, 4, _reg(name))])
+
+
+def sub_reg_reg(dst: str, src: str) -> bytes:
+    return bytes([0x29, _modrm(3, _reg(src), _reg(dst))])
+
+
+def cmp_reg_reg(dst: str, src: str) -> bytes:
+    return bytes([0x39, _modrm(3, _reg(src), _reg(dst))])
+
+
+def test_reg_reg(dst: str, src: str) -> bytes:
+    return bytes([0x85, _modrm(3, _reg(src), _reg(dst))])
+
+
+def add_reg_imm8(name: str, value: int) -> bytes:
+    """ADD r/m32, imm8 (83 /0) — e.g. the ``add esp, 0xC`` epilogue step."""
+    return bytes([0x83, _modrm(3, 0, _reg(name)), value & 0xFF])
+
+
+def sub_reg_imm8(name: str, value: int) -> bytes:
+    return bytes([0x83, _modrm(3, 5, _reg(name)), value & 0xFF])
+
+
+def inc_reg(name: str) -> bytes:
+    return bytes([0x40 + _reg(name)])
+
+
+def dec_reg(name: str) -> bytes:
+    return bytes([0x48 + _reg(name)])
+
+
+def ret() -> bytes:
+    return b"\xc3"
+
+
+def ret_imm16(value: int) -> bytes:
+    return b"\xc2" + struct.pack("<H", value & 0xFFFF)
+
+
+def leave() -> bytes:
+    return b"\xc9"
+
+
+def cdq() -> bytes:
+    return b"\x99"
+
+
+def int_(vector: int) -> bytes:
+    return bytes([0xCD, vector & 0xFF])
+
+
+def int3() -> bytes:
+    return b"\xcc"
+
+
+def hlt() -> bytes:
+    return b"\xf4"
+
+
+def call_rel32(origin: int, target: int) -> bytes:
+    """CALL rel32 where ``origin`` is the address of the call itself."""
+    rel = (target - (origin + 5)) & 0xFFFFFFFF
+    return b"\xe8" + struct.pack("<I", rel)
+
+
+def jmp_rel32(origin: int, target: int) -> bytes:
+    rel = (target - (origin + 5)) & 0xFFFFFFFF
+    return b"\xe9" + struct.pack("<I", rel)
+
+
+def jmp_rel8(origin: int, target: int) -> bytes:
+    rel = target - (origin + 2)
+    if not -128 <= rel <= 127:
+        raise ValueError(f"jmp rel8 target out of range: {rel}")
+    return bytes([0xEB, rel & 0xFF])
+
+
+def jz_rel8(origin: int, target: int) -> bytes:
+    rel = target - (origin + 2)
+    if not -128 <= rel <= 127:
+        raise ValueError(f"jz rel8 target out of range: {rel}")
+    return bytes([0x74, rel & 0xFF])
+
+
+def jnz_rel8(origin: int, target: int) -> bytes:
+    rel = target - (origin + 2)
+    if not -128 <= rel <= 127:
+        raise ValueError(f"jnz rel8 target out of range: {rel}")
+    return bytes([0x75, rel & 0xFF])

@@ -1,0 +1,198 @@
+"""Execution backend for the 32-bit x86 subset."""
+
+from __future__ import annotations
+
+from ..emulator import Emulator
+from ..events import IllegalInstruction
+from ..isa import Instruction
+from ..registers import X86_REG8, X86_REGISTERS
+from ..syscalls import dispatch_x86
+from .disasm import decode
+
+ZF_BIT = 1 << 6
+MASK32 = 0xFFFFFFFF
+
+#: Longest encodable instruction in our subset.
+MAX_INSN_LEN = 5
+
+
+class X86Emulator(Emulator):
+    """Fetch/decode/execute loop over the shared address space."""
+
+    arch = "x86"
+
+    def _fetch_window(self, address: int) -> bytes:
+        """Fetch up to MAX_INSN_LEN bytes without crossing the segment end."""
+        segment = self.process.memory.segment_at(address)
+        length = min(MAX_INSN_LEN, segment.end - address)
+        return self.process.memory.fetch(address, length)
+
+    def _set_zf(self, result: int) -> None:
+        flags = self.process.registers["eflags"]
+        if result & MASK32 == 0:
+            flags |= ZF_BIT
+        else:
+            flags &= ~ZF_BIT
+        self.process.registers["eflags"] = flags
+
+    def _zf(self) -> bool:
+        return bool(self.process.registers["eflags"] & ZF_BIT)
+
+    def _write_reg8(self, name: str, value: int) -> None:
+        index = X86_REG8.index(name)
+        parent = X86_REGISTERS[index % 4] if index < 4 else X86_REGISTERS[index - 4]
+        shift = 0 if index < 4 else 8
+        current = self.process.registers[parent]
+        mask = ~(0xFF << shift) & MASK32
+        self.process.registers[parent] = (current & mask) | ((value & 0xFF) << shift)
+
+    def step(self) -> None:
+        process = self.process
+        address = process.pc
+        insn = decode(self._fetch_window(address), address, strict=True)
+        self._execute(insn)
+
+    def _execute(self, insn: Instruction) -> None:
+        process = self.process
+        regs = process.registers
+        mnemonic = insn.mnemonic
+        next_pc = insn.end
+
+        if mnemonic in ("nop", "daa", "das", "aaa", "aas"):
+            pass
+        elif mnemonic == "push":
+            (operand,) = insn.operands
+            value = regs[operand] if isinstance(operand, str) else operand
+            process.push_u32(value)
+        elif mnemonic == "pop":
+            regs[insn.operands[0]] = process.pop_u32()
+        elif mnemonic == "mov":
+            dst, src = insn.operands
+            regs[dst] = regs[src] if isinstance(src, str) else src
+        elif mnemonic == "mov8":
+            dst, value = insn.operands
+            self._write_reg8(dst, value)
+        elif mnemonic == "xor":
+            dst, src = insn.operands
+            result = regs[dst] ^ regs[src]
+            regs[dst] = result
+            self._set_zf(result)
+        elif mnemonic == "add":
+            dst, src = insn.operands
+            value = regs[src] if isinstance(src, str) else src
+            result = (regs[dst] + value) & MASK32
+            regs[dst] = result
+            self._set_zf(result)
+        elif mnemonic == "sub":
+            dst, src = insn.operands
+            value = regs[src] if isinstance(src, str) else src
+            result = (regs[dst] - value) & MASK32
+            regs[dst] = result
+            self._set_zf(result)
+        elif mnemonic == "cmp":
+            dst, src = insn.operands
+            value = regs[src] if isinstance(src, str) else src
+            self._set_zf((regs[dst] - value) & MASK32)
+        elif mnemonic == "test":
+            dst, src = insn.operands
+            self._set_zf(regs[dst] & regs[src])
+        elif mnemonic == "and":
+            dst, src = insn.operands
+            regs[dst] = regs[dst] & regs[src]
+            self._set_zf(regs[dst])
+        elif mnemonic == "or":
+            dst, src = insn.operands
+            regs[dst] = regs[dst] | regs[src]
+            self._set_zf(regs[dst])
+        elif mnemonic == "not":
+            name = insn.operands[0]
+            regs[name] = ~regs[name] & MASK32
+        elif mnemonic == "neg":
+            name = insn.operands[0]
+            regs[name] = (-regs[name]) & MASK32
+            self._set_zf(regs[name])
+        elif mnemonic == "shl":
+            name, count = insn.operands
+            regs[name] = (regs[name] << count) & MASK32
+            self._set_zf(regs[name])
+        elif mnemonic == "shr":
+            name, count = insn.operands
+            regs[name] = regs[name] >> count
+            self._set_zf(regs[name])
+        elif mnemonic == "xchg":
+            left, right = insn.operands
+            regs[left], regs[right] = regs[right], regs[left]
+        elif mnemonic == "store":
+            base, src = insn.operands
+            process.memory.write_u32(regs[base], regs[src])
+        elif mnemonic == "load":
+            dst, base = insn.operands
+            regs[dst] = process.memory.read_u32(regs[base])
+        elif mnemonic == "inc":
+            name = insn.operands[0]
+            regs[name] = (regs[name] + 1) & MASK32
+            self._set_zf(regs[name])
+        elif mnemonic == "dec":
+            name = insn.operands[0]
+            regs[name] = (regs[name] - 1) & MASK32
+            self._set_zf(regs[name])
+        elif mnemonic == "cdq":
+            regs["edx"] = 0xFFFFFFFF if regs["eax"] & 0x80000000 else 0
+        elif mnemonic == "leave":
+            process.sp = regs["ebp"]
+            regs["ebp"] = process.pop_u32()
+        elif mnemonic == "ret":
+            target = process.pop_u32()
+            if process.cfi is not None:
+                process.cfi.check_return(process, insn.address, target)
+            process.pc = target
+            return
+        elif mnemonic == "retn":
+            target = process.pop_u32()
+            process.sp = (process.sp + insn.operands[0]) & MASK32
+            if process.cfi is not None:
+                process.cfi.check_return(process, insn.address, target)
+            process.pc = target
+            return
+        elif mnemonic == "call":
+            (operand,) = insn.operands
+            indirect = isinstance(operand, str)
+            target = regs[operand] if indirect else operand
+            process.push_u32(next_pc)
+            if process.cfi is not None:
+                process.cfi.note_call(process, next_pc)
+                if indirect:
+                    process.cfi.check_indirect(process, insn.address, target)
+            process.pc = target
+            return
+        elif mnemonic == "jmp":
+            (operand,) = insn.operands
+            if isinstance(operand, str):
+                target = regs[operand]
+                if process.cfi is not None:
+                    process.cfi.check_indirect(process, insn.address, target)
+                process.pc = target
+            else:
+                process.pc = operand
+            return
+        elif mnemonic == "jz":
+            process.pc = insn.operands[0] if self._zf() else next_pc
+            return
+        elif mnemonic == "jnz":
+            process.pc = next_pc if self._zf() else insn.operands[0]
+            return
+        elif mnemonic == "int":
+            # Commit the post-instruction pc before the syscall may stop us.
+            process.pc = next_pc
+            if insn.operands[0] != 0x80:
+                raise IllegalInstruction(insn.address, insn.raw, f"int {insn.operands[0]:#x}")
+            dispatch_x86(process)
+            return
+        elif mnemonic == "int3":
+            raise IllegalInstruction(insn.address, insn.raw, "breakpoint trap (SIGTRAP)")
+        elif mnemonic == "hlt":
+            raise IllegalInstruction(insn.address, insn.raw, "privileged instruction in user mode")
+        else:  # pragma: no cover - decoder and executor kept in sync
+            raise IllegalInstruction(insn.address, insn.raw, f"unimplemented mnemonic {mnemonic}")
+
+        process.pc = next_pc

@@ -1,0 +1,23 @@
+"""OS and compiler defense models: W^X/ASLR profiles, canary, CFI, diversity."""
+
+from .canary import StackCanary
+from .cfi import ShadowStackCfi
+from .retguard import ReturnAddressGuard
+from .diversity import DiversityReport, compare_builds, diversified_population, gadget_addresses
+from .profile import FULL, NONE, PAPER_LEVELS, WX, WX_ASLR, ProtectionProfile
+
+__all__ = [
+    "compare_builds",
+    "diversified_population",
+    "DiversityReport",
+    "FULL",
+    "gadget_addresses",
+    "NONE",
+    "PAPER_LEVELS",
+    "ProtectionProfile",
+    "ReturnAddressGuard",
+    "ShadowStackCfi",
+    "StackCanary",
+    "WX",
+    "WX_ASLR",
+]

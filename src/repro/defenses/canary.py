@@ -1,0 +1,31 @@
+"""Stack-smashing protector model.
+
+The paper compiles Connman *without* stack protectors (as the upstream
+default CFLAGS did); this module exists to show what the canary would have
+caught.  Security comes from value secrecy: the canary is drawn per process
+start, so a remote attacker cannot place the right value while overflowing
+across the slot.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..cpu.events import CanaryClobbered
+from ..cpu.process import Process
+
+
+class StackCanary:
+    """One per-boot canary value plus its frame check."""
+
+    def __init__(self, rng: random.Random):
+        # Classic glibc terminator+random canary: low byte zero.
+        self.value = (rng.randrange(1 << 24) << 8) & 0xFFFFFFFF
+
+    def arm_frame(self, process: Process, slot_address: int) -> None:
+        process.memory.write_u32(slot_address, self.value)
+
+    def check_frame(self, process: Process, slot_address: int, frame_name: str) -> None:
+        found = process.memory.read_u32(slot_address)
+        if found != self.value:
+            raise CanaryClobbered(frame_name, self.value, found)

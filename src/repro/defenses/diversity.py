@@ -1,0 +1,64 @@
+"""Compile-time software diversity (§IV) — analysis helpers.
+
+The mechanism itself lives in :func:`repro.binfmt.build_connman`: the build
+seed shuffles function link order, PLT slot order and inter-function padding,
+so every "compilation" yields a semantically equivalent binary with
+different gadget and PLT addresses.  This module quantifies the effect —
+what fraction of one build's exploit-relevant addresses survive in another —
+which is exactly the probabilistic-protection argument of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Set
+
+from ..binfmt import Binary, build_connman
+
+
+def gadget_addresses(binary: Binary) -> Set[int]:
+    """Addresses of return-ish gadget heads in an image (cheap scan)."""
+    from ..exploit.gadgets import GadgetFinder
+
+    finder = GadgetFinder(binary)
+    return {gadget.address for gadget in finder.all_gadgets()}
+
+
+@dataclass
+class DiversityReport:
+    """Address survival between a reference build and one diversified build."""
+
+    seed: int
+    surviving_gadgets: int
+    reference_gadgets: int
+    plt_moved: int
+    plt_total: int
+
+    @property
+    def gadget_survival_rate(self) -> float:
+        if not self.reference_gadgets:
+            return 0.0
+        return self.surviving_gadgets / self.reference_gadgets
+
+
+def compare_builds(reference: Binary, diversified: Binary) -> DiversityReport:
+    """How much of the attacker's address knowledge transfers across builds."""
+    ref_gadgets = gadget_addresses(reference)
+    div_gadgets = gadget_addresses(diversified)
+    plt_moved = sum(
+        1
+        for name, address in reference.plt.items()
+        if diversified.plt.get(name) != address
+    )
+    return DiversityReport(
+        seed=int(diversified.metadata.get("seed", "0")),
+        surviving_gadgets=len(ref_gadgets & div_gadgets),
+        reference_gadgets=len(ref_gadgets),
+        plt_moved=plt_moved,
+        plt_total=len(reference.plt),
+    )
+
+
+def diversified_population(arch: str, version: str, seeds: Iterable[int]) -> List[Binary]:
+    """Build one binary per seed — a fleet of diversified devices."""
+    return [build_connman(arch, version=version, seed=seed) for seed in seeds]

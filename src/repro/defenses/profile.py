@@ -1,0 +1,58 @@
+"""Protection profiles — the paper's three levels plus the §IV mitigations.
+
+The paper's experiment matrix uses exactly three OS-level profiles:
+
+* ``NONE``      — no protections (stack executable, fixed layout);
+* ``WX``        — W^X only (§III-B);
+* ``WX_ASLR``   — W^X + ASLR (§III-C).
+
+``canary``, ``cfi`` and ``diversity_seed`` model the suggested mitigations
+(stack protectors are explicitly *disabled* in the paper's builds; CFI and
+compile-time software diversity are §IV future defenses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class ProtectionProfile:
+    wx: bool = False
+    aslr: bool = False
+    canary: bool = False
+    cfi: bool = False
+    #: §VII lightweight defense: XOR-encrypted saved return addresses.
+    ret_guard: bool = False
+    diversity_seed: int = 0
+    #: libc-slide entropy in pages (the E10 sweep varies this); 256 pages
+    #: is the 32-bit mmap default the paper's targets shipped with.
+    aslr_entropy_pages: int = 256
+
+    def label(self) -> str:
+        enabled = []
+        if self.wx:
+            enabled.append("W^X")
+        if self.aslr:
+            enabled.append("ASLR")
+        if self.canary:
+            enabled.append("canary")
+        if self.cfi:
+            enabled.append("CFI")
+        if self.ret_guard:
+            enabled.append("ret-guard")
+        if self.diversity_seed:
+            enabled.append(f"diversity#{self.diversity_seed}")
+        return "+".join(enabled) if enabled else "none"
+
+    def with_(self, **changes) -> "ProtectionProfile":
+        return replace(self, **changes)
+
+
+NONE = ProtectionProfile()
+WX = ProtectionProfile(wx=True)
+WX_ASLR = ProtectionProfile(wx=True, aslr=True)
+FULL = ProtectionProfile(wx=True, aslr=True, canary=True, cfi=True)
+
+#: The paper's §III protection ladder, in presentation order.
+PAPER_LEVELS = (("none", NONE), ("W^X", WX), ("W^X+ASLR", WX_ASLR))

@@ -1,0 +1,45 @@
+"""Lightweight return-address protection — the paper's §VII future work.
+
+"We plan on developing a light-weight stack memory protection mechanism
+for IoT devices that addresses the main challenges in these devices, such
+as resource constraints."
+
+This is one concrete design meeting that constraint: the function prologue
+stores the saved return address XOR-encrypted with a per-boot 32-bit secret
+(cf. StackGhost / RAD), and the epilogue decrypts it before the return.
+Cost is one XOR per call/return — no shadow memory, no instrumentation of
+reads, no added RAM — which is the "resource constrained" trade-off versus
+full CFI.
+
+Security argument: a remote overflow writes *plaintext* addresses; the
+epilogue decrypts them with the secret key, so the hijacked return lands at
+``chosen ^ key`` — an unpredictable, almost-certainly-unmapped address —
+and the daemon crashes (DoS) instead of executing the chain (RCE).  A
+canary-style bypass (writing around the slot) does not exist because the
+protected word *is* the return address.
+"""
+
+from __future__ import annotations
+
+import random
+
+MASK32 = 0xFFFFFFFF
+
+
+class ReturnAddressGuard:
+    """Per-boot XOR key applied to saved return addresses."""
+
+    def __init__(self, rng: random.Random):
+        # Force a non-trivial key: at least one high and one low byte set.
+        self.key = (rng.randrange(1, 1 << 16) << 16 | rng.randrange(1, 1 << 16)) & MASK32
+
+    def protect(self, return_address: int) -> int:
+        """Value the prologue stores in the return slot."""
+        return (return_address ^ self.key) & MASK32
+
+    def restore(self, stored_value: int) -> int:
+        """Value the epilogue loads into the program counter."""
+        return (stored_value ^ self.key) & MASK32
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "ReturnAddressGuard(key=<per-boot secret>)"

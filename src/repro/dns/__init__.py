@@ -1,0 +1,71 @@
+"""DNS wire protocol: codec, benign servers, stub resolver, malicious server."""
+
+from .client import ResolveResult, StubResolver, Transport
+from .errors import DnsError, MessageDecodeError, NameEncodingError, PointerLoopError
+from .malicious import MaliciousDnsServer, build_raw_response, fixed_blob_server
+from .message import HEADER_LENGTH, Flags, Message, Rcode, make_query, make_response
+from .name import (
+    MAX_LABEL_LENGTH,
+    MAX_NAME_LENGTH,
+    decode_name,
+    encode_name,
+    encode_pointer,
+    skip_name,
+    split_labels,
+)
+from .records import (
+    Question,
+    RecordClass,
+    RecordType,
+    ResourceRecord,
+    bytes_to_ip4,
+    bytes_to_ip6,
+    ip4_to_bytes,
+    ip6_to_bytes,
+)
+from .forwarder import CachingForwarder, DelegationPoisoner, PoisoningResult
+from .server import MAX_CNAME_CHAIN, QueryLogEntry, SimpleDnsServer
+from .zonefile import Zone, ZoneFileError, parse_zone
+
+__all__ = [
+    "build_raw_response",
+    "bytes_to_ip4",
+    "bytes_to_ip6",
+    "decode_name",
+    "DnsError",
+    "encode_name",
+    "encode_pointer",
+    "fixed_blob_server",
+    "Flags",
+    "HEADER_LENGTH",
+    "ip4_to_bytes",
+    "ip6_to_bytes",
+    "make_query",
+    "make_response",
+    "MaliciousDnsServer",
+    "MAX_LABEL_LENGTH",
+    "MAX_NAME_LENGTH",
+    "Message",
+    "MessageDecodeError",
+    "NameEncodingError",
+    "PointerLoopError",
+    "Question",
+    "QueryLogEntry",
+    "Rcode",
+    "RecordClass",
+    "RecordType",
+    "ResolveResult",
+    "ResourceRecord",
+    "SimpleDnsServer",
+    "skip_name",
+    "split_labels",
+    "StubResolver",
+    "Transport",
+    "Zone",
+    "ZoneFileError",
+    "parse_zone",
+    "MAX_CNAME_CHAIN",
+    "CachingForwarder",
+    "DelegationPoisoner",
+    "PoisoningResult",
+]

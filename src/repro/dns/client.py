@@ -1,0 +1,50 @@
+"""A minimal stub resolver (the 'localhost client' behind Connman's proxy)."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from .errors import DnsError
+from .message import Message, Rcode, make_query
+from .records import RecordType
+
+#: A transport: query bytes in, response bytes (or None for a drop) out.
+Transport = Callable[[bytes], Optional[bytes]]
+
+
+@dataclass
+class ResolveResult:
+    name: str
+    address: Optional[str]
+    rcode: int
+
+    @property
+    def ok(self) -> bool:
+        return self.address is not None
+
+
+@dataclass
+class StubResolver:
+    """Builds queries with random ids and interprets responses."""
+
+    rng: random.Random = field(default_factory=lambda: random.Random(0))
+
+    def build_query(self, name: str, qtype: int = RecordType.A) -> Message:
+        return make_query(self.rng.randrange(1 << 16), name, qtype)
+
+    def resolve(self, transport: Transport, name: str,
+                qtype: int = RecordType.A) -> ResolveResult:
+        query = self.build_query(name, qtype)
+        raw = transport(query.encode())
+        if raw is None:
+            return ResolveResult(name=name, address=None, rcode=Rcode.SERVFAIL)
+        response = Message.decode(raw)
+        if response.id != query.id:
+            raise DnsError(f"response id {response.id} != query id {query.id}")
+        for record in response.answers:
+            if record.rtype == qtype:
+                return ResolveResult(name=name, address=record.address,
+                                     rcode=response.flags.rcode)
+        return ResolveResult(name=name, address=None, rcode=response.flags.rcode)

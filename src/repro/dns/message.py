@@ -1,0 +1,134 @@
+"""Full DNS message codec: header, flags, and the four sections."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field, replace
+from typing import List, Tuple
+
+from .errors import MessageDecodeError
+from .records import Question, RecordType, ResourceRecord
+
+HEADER_LENGTH = 12
+
+
+class Rcode:
+    NOERROR = 0
+    FORMERR = 1
+    SERVFAIL = 2
+    NXDOMAIN = 3
+    NOTIMP = 4
+    REFUSED = 5
+
+
+@dataclass(frozen=True)
+class Flags:
+    """The 16-bit flags word, unpacked."""
+
+    qr: bool = False
+    opcode: int = 0
+    aa: bool = False
+    tc: bool = False
+    rd: bool = True
+    ra: bool = False
+    rcode: int = Rcode.NOERROR
+
+    def encode(self) -> int:
+        word = 0
+        word |= int(self.qr) << 15
+        word |= (self.opcode & 0xF) << 11
+        word |= int(self.aa) << 10
+        word |= int(self.tc) << 9
+        word |= int(self.rd) << 8
+        word |= int(self.ra) << 7
+        word |= self.rcode & 0xF
+        return word
+
+    @classmethod
+    def decode(cls, word: int) -> "Flags":
+        return cls(
+            qr=bool(word & 0x8000),
+            opcode=(word >> 11) & 0xF,
+            aa=bool(word & 0x0400),
+            tc=bool(word & 0x0200),
+            rd=bool(word & 0x0100),
+            ra=bool(word & 0x0080),
+            rcode=word & 0xF,
+        )
+
+
+@dataclass(frozen=True)
+class Message:
+    """A decoded DNS message."""
+
+    id: int
+    flags: Flags = field(default_factory=Flags)
+    questions: Tuple[Question, ...] = ()
+    answers: Tuple[ResourceRecord, ...] = ()
+    authorities: Tuple[ResourceRecord, ...] = ()
+    additionals: Tuple[ResourceRecord, ...] = ()
+
+    @property
+    def is_response(self) -> bool:
+        return self.flags.qr
+
+    def encode(self) -> bytes:
+        header = struct.pack(
+            ">HHHHHH",
+            self.id & 0xFFFF,
+            self.flags.encode(),
+            len(self.questions),
+            len(self.answers),
+            len(self.authorities),
+            len(self.additionals),
+        )
+        body = b"".join(question.encode() for question in self.questions)
+        for section in (self.answers, self.authorities, self.additionals):
+            body += b"".join(record.encode() for record in section)
+        return header + body
+
+    @classmethod
+    def decode(cls, packet: bytes) -> "Message":
+        if len(packet) < HEADER_LENGTH:
+            raise MessageDecodeError(f"packet too short for DNS header: {len(packet)} bytes")
+        message_id, flags_word, qd, an, ns, ar = struct.unpack_from(">HHHHHH", packet, 0)
+        offset = HEADER_LENGTH
+        questions: List[Question] = []
+        for _ in range(qd):
+            question, offset = Question.decode(packet, offset)
+            questions.append(question)
+        sections: List[List[ResourceRecord]] = [[], [], []]
+        for section, count in zip(sections, (an, ns, ar)):
+            for _ in range(count):
+                record, offset = ResourceRecord.decode(packet, offset)
+                section.append(record)
+        return cls(
+            id=message_id,
+            flags=Flags.decode(flags_word),
+            questions=tuple(questions),
+            answers=tuple(sections[0]),
+            authorities=tuple(sections[1]),
+            additionals=tuple(sections[2]),
+        )
+
+    def describe(self) -> str:
+        kind = "response" if self.is_response else "query"
+        parts = [f"DNS {kind} id={self.id} rcode={self.flags.rcode}"]
+        parts += [f"  ? {q.describe()}" for q in self.questions]
+        parts += [f"  = {r.describe()}" for r in self.answers]
+        return "\n".join(parts)
+
+
+def make_query(message_id: int, name: str, qtype: int = RecordType.A) -> Message:
+    return Message(id=message_id, flags=Flags(qr=False, rd=True),
+                   questions=(Question(name=name, qtype=qtype),))
+
+
+def make_response(query: Message, answers: Tuple[ResourceRecord, ...],
+                  rcode: int = Rcode.NOERROR) -> Message:
+    """A well-formed response echoing the query id and question."""
+    return replace(
+        query,
+        flags=Flags(qr=True, rd=query.flags.rd, ra=True, aa=False, rcode=rcode),
+        answers=answers,
+    )

@@ -1,0 +1,170 @@
+"""DNS record types, questions, and resource records."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Tuple
+
+from .errors import MessageDecodeError
+from .name import decode_name, encode_name
+
+
+class RecordType:
+    """DNS RR type codes (RFC 1035 / 3596)."""
+
+    A = 1
+    NS = 2
+    CNAME = 5
+    SOA = 6
+    PTR = 12
+    MX = 15
+    TXT = 16
+    AAAA = 28
+    ANY = 255
+
+    _NAMES = {1: "A", 2: "NS", 5: "CNAME", 6: "SOA", 12: "PTR", 15: "MX",
+              16: "TXT", 28: "AAAA", 255: "ANY"}
+
+    @classmethod
+    def name(cls, code: int) -> str:
+        return cls._NAMES.get(code, f"TYPE{code}")
+
+
+class RecordClass:
+    IN = 1
+    ANY = 255
+
+
+def ip4_to_bytes(address: str) -> bytes:
+    parts = address.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"bad IPv4 address {address!r}")
+    try:
+        values = [int(part) for part in parts]
+    except ValueError:
+        raise ValueError(f"bad IPv4 address {address!r}") from None
+    if any(not 0 <= value <= 255 for value in values):
+        raise ValueError(f"bad IPv4 address {address!r}")
+    return bytes(values)
+
+
+def bytes_to_ip4(data: bytes) -> str:
+    if len(data) != 4:
+        raise ValueError(f"IPv4 rdata must be 4 bytes, got {len(data)}")
+    return ".".join(str(byte) for byte in data)
+
+
+def ip6_to_bytes(address: str) -> bytes:
+    """Minimal IPv6 text-to-bytes supporting one ``::`` elision."""
+    if "::" in address:
+        head, _, tail = address.partition("::")
+        head_groups = [g for g in head.split(":") if g]
+        tail_groups = [g for g in tail.split(":") if g]
+        missing = 8 - len(head_groups) - len(tail_groups)
+        if missing < 0:
+            raise ValueError(f"bad IPv6 address {address!r}")
+        groups = head_groups + ["0"] * missing + tail_groups
+    else:
+        groups = address.split(":")
+    if len(groups) != 8:
+        raise ValueError(f"bad IPv6 address {address!r}")
+    try:
+        return b"".join(struct.pack(">H", int(group, 16)) for group in groups)
+    except ValueError:
+        raise ValueError(f"bad IPv6 address {address!r}") from None
+
+
+def bytes_to_ip6(data: bytes) -> str:
+    if len(data) != 16:
+        raise ValueError(f"IPv6 rdata must be 16 bytes, got {len(data)}")
+    groups = [f"{struct.unpack_from('>H', data, i)[0]:x}" for i in range(0, 16, 2)]
+    return ":".join(groups)
+
+
+@dataclass(frozen=True)
+class Question:
+    """One entry of the question section."""
+
+    name: str
+    qtype: int = RecordType.A
+    qclass: int = RecordClass.IN
+
+    def encode(self) -> bytes:
+        return encode_name(self.name) + struct.pack(">HH", self.qtype, self.qclass)
+
+    @classmethod
+    def decode(cls, packet: bytes, offset: int) -> Tuple["Question", int]:
+        name, offset = decode_name(packet, offset)
+        if offset + 4 > len(packet):
+            raise MessageDecodeError("truncated question")
+        qtype, qclass = struct.unpack_from(">HH", packet, offset)
+        return cls(name=name, qtype=qtype, qclass=qclass), offset + 4
+
+    def describe(self) -> str:
+        return f"{self.name} {RecordType.name(self.qtype)}"
+
+
+@dataclass(frozen=True)
+class ResourceRecord:
+    """One answer/authority/additional record."""
+
+    name: str
+    rtype: int
+    rclass: int
+    ttl: int
+    rdata: bytes
+
+    @classmethod
+    def a(cls, name: str, address: str, ttl: int = 300) -> "ResourceRecord":
+        return cls(name, RecordType.A, RecordClass.IN, ttl, ip4_to_bytes(address))
+
+    @classmethod
+    def aaaa(cls, name: str, address: str, ttl: int = 300) -> "ResourceRecord":
+        return cls(name, RecordType.AAAA, RecordClass.IN, ttl, ip6_to_bytes(address))
+
+    @classmethod
+    def cname(cls, name: str, target: str, ttl: int = 300) -> "ResourceRecord":
+        return cls(name, RecordType.CNAME, RecordClass.IN, ttl, encode_name(target))
+
+    @classmethod
+    def txt(cls, name: str, text: bytes, ttl: int = 300) -> "ResourceRecord":
+        if len(text) > 255:
+            raise ValueError("TXT string too long")
+        return cls(name, RecordType.TXT, RecordClass.IN, ttl, bytes([len(text)]) + text)
+
+    @property
+    def address(self) -> str:
+        """Decoded address for A/AAAA records."""
+        if self.rtype == RecordType.A:
+            return bytes_to_ip4(self.rdata)
+        if self.rtype == RecordType.AAAA:
+            return bytes_to_ip6(self.rdata)
+        raise ValueError(f"record type {RecordType.name(self.rtype)} has no address")
+
+    def encode(self) -> bytes:
+        return (
+            encode_name(self.name)
+            + struct.pack(">HHIH", self.rtype, self.rclass, self.ttl, len(self.rdata))
+            + self.rdata
+        )
+
+    @classmethod
+    def decode(cls, packet: bytes, offset: int) -> Tuple["ResourceRecord", int]:
+        name, offset = decode_name(packet, offset)
+        if offset + 10 > len(packet):
+            raise MessageDecodeError("truncated resource record header")
+        rtype, rclass, ttl, rdlength = struct.unpack_from(">HHIH", packet, offset)
+        offset += 10
+        if offset + rdlength > len(packet):
+            raise MessageDecodeError("truncated rdata")
+        rdata = packet[offset : offset + rdlength]
+        return cls(name=name, rtype=rtype, rclass=rclass, ttl=ttl, rdata=rdata), offset + rdlength
+
+    def describe(self) -> str:
+        kind = RecordType.name(self.rtype)
+        try:
+            value = self.address
+        except ValueError:
+            value = self.rdata.hex()
+        return f"{self.name} {self.ttl} {kind} {value}"

@@ -1,0 +1,106 @@
+"""DNS server implementations (benign)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .message import Message, Rcode, make_response
+from .name import decode_name
+from .records import RecordType, ResourceRecord
+
+MAX_CNAME_CHAIN = 8
+
+
+@dataclass
+class QueryLogEntry:
+    name: str
+    qtype: int
+    answered: bool
+
+
+@dataclass
+class SimpleDnsServer:
+    """An authoritative-ish resolver over an in-memory zone.
+
+    Transport-agnostic: :meth:`handle_query` maps request bytes to response
+    bytes; the network simulation (or a test) moves the packets.  Supports
+    A/AAAA lookups, CNAME chains, and an optional wildcard default.
+    """
+
+    zone: Dict[str, str] = field(default_factory=dict)
+    zone6: Dict[str, str] = field(default_factory=dict)
+    cnames: Dict[str, str] = field(default_factory=dict)
+    #: When set, every unknown name resolves here (captive-portal style).
+    default_address: Optional[str] = None
+    ttl: int = 300
+    log: List[QueryLogEntry] = field(default_factory=list)
+
+    @classmethod
+    def from_zone(cls, zone, **kwargs) -> "SimpleDnsServer":
+        """Build a server from a parsed :class:`repro.dns.zonefile.Zone`."""
+        server = cls(**kwargs)
+        server.load_zone(zone)
+        return server
+
+    def load_zone(self, zone) -> None:
+        for record in zone.records:
+            key = record.name.lower()
+            if record.rtype == RecordType.A:
+                self.zone[key] = record.address
+            elif record.rtype == RecordType.AAAA:
+                self.zone6[key] = record.address
+            elif record.rtype == RecordType.CNAME:
+                target, _ = decode_name(record.rdata, 0)
+                self.cnames[key] = target
+
+    def add_record(self, name: str, address: str) -> None:
+        self.zone[name.lower()] = address
+
+    def add_cname(self, alias: str, target: str) -> None:
+        self.cnames[alias.lower()] = target
+
+    def lookup(self, name: str, qtype: int) -> List[ResourceRecord]:
+        """Resolve a name, following CNAMEs; returns the full answer chain."""
+        answers: List[ResourceRecord] = []
+        current = name
+        for _ in range(MAX_CNAME_CHAIN):
+            key = current.lower()
+            if key in self.cnames:
+                target = self.cnames[key]
+                answers.append(ResourceRecord.cname(current, target, ttl=self.ttl))
+                current = target
+                continue
+            terminal = self._terminal_lookup(current, qtype)
+            if terminal is not None:
+                answers.append(terminal)
+            return answers if terminal is not None else []
+        return []  # CNAME loop / too deep: treat as unresolvable
+
+    def _terminal_lookup(self, name: str, qtype: int) -> Optional[ResourceRecord]:
+        key = name.lower()
+        if qtype == RecordType.A:
+            address = self.zone.get(key, self.default_address)
+            if address is not None:
+                return ResourceRecord.a(name, address, ttl=self.ttl)
+        elif qtype == RecordType.AAAA:
+            address6 = self.zone6.get(key)
+            if address6 is not None:
+                return ResourceRecord.aaaa(name, address6, ttl=self.ttl)
+        return None
+
+    def handle_query(self, packet: bytes) -> Optional[bytes]:
+        try:
+            query = Message.decode(packet)
+        except Exception:
+            return None
+        if query.is_response or not query.questions:
+            return None
+        question = query.questions[0]
+        answers = self.lookup(question.name, question.qtype)
+        self.log.append(
+            QueryLogEntry(name=question.name, qtype=question.qtype, answered=bool(answers))
+        )
+        if not answers:
+            return make_response(query, (), rcode=Rcode.NXDOMAIN).encode()
+        return make_response(query, tuple(answers)).encode()

@@ -1,0 +1,111 @@
+"""Minimal RFC-1035-style zone file parsing.
+
+Supports the subset real IoT lab setups use: ``$ORIGIN``/``$TTL``
+directives, comments, relative and absolute names, and A / AAAA / CNAME /
+TXT records.  The experiments use zone files to stand up realistic
+legitimate resolvers (so the malicious server is the *anomaly*, as in the
+paper's testbed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .errors import DnsError
+from .records import RecordType, ResourceRecord
+
+
+class ZoneFileError(DnsError):
+    """A zone file line could not be parsed."""
+
+    def __init__(self, line_number: int, line: str, reason: str):
+        self.line_number = line_number
+        self.line = line
+        super().__init__(f"zone file line {line_number}: {reason}: {line!r}")
+
+
+@dataclass(frozen=True)
+class Zone:
+    origin: str
+    records: List[ResourceRecord]
+
+    def by_type(self, rtype: int) -> List[ResourceRecord]:
+        return [record for record in self.records if record.rtype == rtype]
+
+
+def _qualify(name: str, origin: str) -> str:
+    if name == "@":
+        return origin
+    if name.endswith("."):
+        return name.rstrip(".")
+    if not origin:
+        return name
+    return f"{name}.{origin}"
+
+
+def parse_zone(text: str, origin: str = "", default_ttl: int = 300) -> Zone:
+    """Parse zone text into records (names normalized, no trailing dot)."""
+    origin = origin.rstrip(".")
+    ttl = default_ttl
+    records: List[ResourceRecord] = []
+    last_name: Optional[str] = None
+
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split(";", 1)[0].rstrip()
+        if not line.strip():
+            continue
+
+        if line.startswith("$ORIGIN"):
+            parts = line.split()
+            if len(parts) != 2:
+                raise ZoneFileError(line_number, raw_line, "$ORIGIN needs one argument")
+            origin = parts[1].rstrip(".")
+            continue
+        if line.startswith("$TTL"):
+            parts = line.split()
+            try:
+                ttl = int(parts[1])
+            except (IndexError, ValueError):
+                raise ZoneFileError(line_number, raw_line, "$TTL needs an integer") from None
+            continue
+
+        # Leading whitespace means "same owner as the previous record".
+        starts_indented = raw_line[:1].isspace()
+        fields = line.split()
+        if starts_indented:
+            if last_name is None:
+                raise ZoneFileError(line_number, raw_line, "no previous owner name")
+            name = last_name
+        else:
+            name = _qualify(fields.pop(0), origin)
+            last_name = name
+
+        record_ttl = ttl
+        if fields and fields[0].isdigit():
+            record_ttl = int(fields.pop(0))
+        if fields and fields[0].upper() == "IN":
+            fields.pop(0)
+        if len(fields) < 2:
+            raise ZoneFileError(line_number, raw_line, "expected TYPE and RDATA")
+
+        rtype, rdata = fields[0].upper(), " ".join(fields[1:])
+        try:
+            if rtype == "A":
+                records.append(ResourceRecord.a(name, rdata, ttl=record_ttl))
+            elif rtype == "AAAA":
+                records.append(ResourceRecord.aaaa(name, rdata, ttl=record_ttl))
+            elif rtype == "CNAME":
+                records.append(
+                    ResourceRecord.cname(name, _qualify(rdata, origin), ttl=record_ttl)
+                )
+            elif rtype == "TXT":
+                records.append(
+                    ResourceRecord.txt(name, rdata.strip('"').encode(), ttl=record_ttl)
+                )
+            else:
+                raise ZoneFileError(line_number, raw_line, f"unsupported type {rtype}")
+        except ValueError as why:
+            raise ZoneFileError(line_number, raw_line, str(why)) from None
+
+    return Zone(origin=origin, records=records)

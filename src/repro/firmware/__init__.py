@@ -1,0 +1,46 @@
+"""Firmware images, IoT device models, and the CVE audit database."""
+
+from .cvedb import (
+    ALL_CVES,
+    AuditFinding,
+    CONNMAN_CVE,
+    CveRecord,
+    DNS_FAMILY,
+    PROTOCOL_FAMILY,
+    audit_firmware,
+    audit_fleet,
+)
+from .device import IoTDevice, raspberry_pi_3b
+from .images import (
+    FIRMWARE_CATALOG,
+    FirmwareImage,
+    OPENELEC,
+    TIZEN_3,
+    TIZEN_4,
+    UBUNTU_MATE_PI,
+    UBUNTU_X86,
+    YOCTO,
+    catalog_by_name,
+)
+
+__all__ = [
+    "ALL_CVES",
+    "audit_firmware",
+    "audit_fleet",
+    "AuditFinding",
+    "catalog_by_name",
+    "CONNMAN_CVE",
+    "CveRecord",
+    "DNS_FAMILY",
+    "FIRMWARE_CATALOG",
+    "FirmwareImage",
+    "IoTDevice",
+    "OPENELEC",
+    "PROTOCOL_FAMILY",
+    "raspberry_pi_3b",
+    "TIZEN_3",
+    "TIZEN_4",
+    "UBUNTU_MATE_PI",
+    "UBUNTU_X86",
+    "YOCTO",
+]

@@ -1,0 +1,82 @@
+"""CVE database covering the paper's target and its §V adaptation set."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .images import FirmwareImage
+
+
+@dataclass(frozen=True)
+class CveRecord:
+    cve_id: str
+    component: str
+    protocol: str
+    vulnerability_class: str
+    description: str
+    #: Paper's effort estimate for retargeting the exploit code (§V).
+    adaptation_effort: str  # "native" | "minimal" | "moderate"
+
+
+CONNMAN_CVE = CveRecord(
+    cve_id="CVE-2017-12865",
+    component="connman",
+    protocol="dns",
+    vulnerability_class="stack-buffer-overflow",
+    description="dnsproxy get_name expands a crafted DNS response past the "
+                "1024-byte name buffer (DoS or RCE)",
+    adaptation_effort="native",
+)
+
+#: §V: "our code can work out-of-the-box (with minimal modification)".
+DNS_FAMILY = (
+    CveRecord("CVE-2017-14493", "dnsmasq", "dns", "stack-buffer-overflow",
+              "DHCPv6 relay / DNS handling overflow in dnsmasq", "minimal"),
+    CveRecord("CVE-2018-9445", "systemd-resolved", "dns", "stack-buffer-overflow",
+              "dns_packet_read_name overflow in systemd's resolver", "minimal"),
+    CveRecord("CVE-2018-19278", "asterisk", "dns", "buffer-overflow",
+              "DNS SRV/NAPTR handling overflow in Digium Asterisk", "minimal"),
+)
+
+#: §V: "with moderate modification ... protocol-based vulnerabilities".
+PROTOCOL_FAMILY = (
+    CveRecord("CVE-2019-8985", "router-httpd", "http", "stack-buffer-overflow",
+              "HTTP request handling overflow in router firmware", "moderate"),
+    CveRecord("CVE-2019-9125", "router-httpd", "http", "stack-buffer-overflow",
+              "HTTP header parsing overflow in router firmware", "moderate"),
+    CveRecord("CVE-2018-6692", "embedded-httpd", "http", "stack-buffer-overflow",
+              "UPnP/HTTP overflow in embedded web server", "moderate"),
+    CveRecord("CVE-2018-20410", "tcp-service", "tcp", "buffer-overflow",
+              "crafted TCP packet overflow in device service", "moderate"),
+)
+
+ALL_CVES: Tuple[CveRecord, ...] = (CONNMAN_CVE,) + DNS_FAMILY + PROTOCOL_FAMILY
+
+
+@dataclass(frozen=True)
+class AuditFinding:
+    image: FirmwareImage
+    cve: CveRecord
+    reason: str
+
+
+def audit_firmware(image: FirmwareImage) -> List[AuditFinding]:
+    """Match an image against the database (connman-version-driven here)."""
+    findings: List[AuditFinding] = []
+    if image.ships_vulnerable_connman:
+        findings.append(
+            AuditFinding(
+                image=image,
+                cve=CONNMAN_CVE,
+                reason=f"ships connman {image.connman_version} (< 1.35)",
+            )
+        )
+    return findings
+
+
+def audit_fleet(images) -> List[AuditFinding]:
+    findings: List[AuditFinding] = []
+    for image in images:
+        findings.extend(audit_firmware(image))
+    return findings

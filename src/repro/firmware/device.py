@@ -1,0 +1,127 @@
+"""IoT device model: firmware + network presence + the Connman daemon.
+
+An :class:`IoTDevice` is what the Pineapple experiment attacks: a host with
+a wireless station (DHCP/auto-DNS, "the only network configuration set in
+the Raspberry Pi ... is to utilize DHCP and automatic DNS server via DHCP",
+§III-D), running Connman as its DNS proxy for local applications.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..connman import ConnmanDaemon, DaemonEvent
+from ..connman.services import ServiceManager
+from ..defenses import ProtectionProfile
+from ..dns import make_query
+from ..net import Host, RadioEnvironment, WirelessStation
+from .images import FirmwareImage
+
+
+class IoTDevice:
+    """One consumer device built from a firmware image."""
+
+    def __init__(
+        self,
+        name: str,
+        firmware: FirmwareImage,
+        known_ssids: Optional[List[str]] = None,
+        profile: Optional[ProtectionProfile] = None,
+        rng: Optional[random.Random] = None,
+        main_conf=None,
+    ):
+        from ..connman.config import DEFAULT_MAIN_CONF
+
+        self.name = name
+        self.firmware = firmware
+        self.main_conf = main_conf if main_conf is not None else DEFAULT_MAIN_CONF
+        self.profile = profile if profile is not None else firmware.default_profile
+        self.rng = rng or random.Random(hash(name) & 0xFFFF)
+        self.host = Host(name)
+        self.station = WirelessStation(self.host, known_ssids or [])
+        #: Connman's connection-management half (repro.connman.services).
+        self.services = ServiceManager(self.station)
+        self.daemon = ConnmanDaemon(
+            arch=firmware.arch,
+            version=firmware.connman_version,
+            profile=self.profile,
+            rng=self.rng,
+            name=f"connmand@{name}",
+        )
+        self._query_counter = 0
+
+    # -- network behaviour -----------------------------------------------------
+
+    def join_wifi(self, radio: RadioEnvironment):
+        """Scan and (re)connect the preferred service (see §III-D).
+
+        Runs the Connman service lifecycle: scan -> autoconnect ->
+        association/configuration (DHCP) -> ready.  Returns the new
+        association record when the device moved, None otherwise.
+        """
+        self.services.scan_wifi(radio)
+        before = self.station.association
+        service = self.services.autoconnect()
+        if service is None or not service.connected:
+            return None
+        after = self.station.association
+        return after if after is not before else None
+
+    def lookup(self, qname: str) -> Optional[DaemonEvent]:
+        """A local application resolves a name through Connman's DNS proxy.
+
+        This is the complete attack path: local stub -> connman dnsproxy ->
+        (the network's) configured DNS server -> parse_response.
+        """
+        if not self.daemon.alive:
+            return None
+        self._query_counter += 1
+        query = make_query(self._query_counter, qname)
+        upstream = self._upstream_transport()
+        self.daemon.handle_client_query(query.encode(), upstream)
+        return self.daemon.last_event
+
+    def _upstream_transport(self):
+        """DHCP-provided resolver first, then main.conf fallbacks."""
+        if self.host.dns_server is not None:
+            return self.host.dns_transport()
+        fallbacks = self.main_conf.fallback_nameservers
+
+        def transport(packet):
+            for server in fallbacks:
+                reply = self.host.send_udp(server, 53, packet)
+                if reply is not None:
+                    return reply
+            return None
+
+        return transport
+
+    def phone_home(self) -> Optional[DaemonEvent]:
+        """The periodic lookup every IoT device makes (update/telemetry)."""
+        return self.lookup(f"telemetry.{self.firmware.os_name.lower().split()[0]}.example")
+
+    # -- state ---------------------------------------------------------------------
+
+    @property
+    def compromised(self) -> bool:
+        return self.daemon.compromised
+
+    @property
+    def online(self) -> bool:
+        return self.host.network is not None and self.daemon.alive
+
+    def status(self) -> str:
+        ssid = self.station.association.ap.ssid if self.station.association else "(no wifi)"
+        return f"{self.name} [{self.firmware.name}] wifi={ssid} — {self.daemon.status()}"
+
+
+def raspberry_pi_3b(
+    name: str = "raspberry-pi-3b",
+    known_ssids: Optional[List[str]] = None,
+    profile: Optional[ProtectionProfile] = None,
+) -> IoTDevice:
+    """The paper's ARMv7 target device, running Ubuntu Mate 16.04."""
+    from .images import UBUNTU_MATE_PI
+
+    return IoTDevice(name, UBUNTU_MATE_PI, known_ssids=known_ssids, profile=profile)

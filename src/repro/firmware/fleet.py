@@ -1,0 +1,69 @@
+"""A household fleet of consumer IoT devices (the paper's §I motivation).
+
+"Connman ... is widely used in many IoT firmware such as Nest thermostats,
+NAO robots, and most smart devices from Samsung such as smart watches and
+smart TVs."  This module builds that household: a mixed fleet across
+firmware versions and protection profiles, all joined to the same SSID —
+the blast radius of one evil twin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..defenses import NONE, WX, WX_ASLR, ProtectionProfile
+from .device import IoTDevice
+from .images import OPENELEC, TIZEN_3, TIZEN_4, UBUNTU_MATE_PI, YOCTO, FirmwareImage
+
+
+@dataclass(frozen=True)
+class FleetMember:
+    """Blueprint for one device in the household."""
+
+    name: str
+    kind: str
+    firmware: FirmwareImage
+    profile: ProtectionProfile
+
+    def build(self, ssid: str) -> IoTDevice:
+        return IoTDevice(self.name, self.firmware, known_ssids=[ssid],
+                         profile=self.profile)
+
+
+#: The default household: the devices the paper's introduction names, with
+#: a realistic spread of protections and one patched straggler.
+DEFAULT_HOUSEHOLD = (
+    FleetMember("living-room-tv", "smart TV (Tizen 3)", TIZEN_3, WX_ASLR),
+    FleetMember("media-center", "streaming box (OpenELEC)", OPENELEC, WX),
+    FleetMember("thermostat", "smart thermostat (Yocto)", YOCTO, WX_ASLR),
+    FleetMember("nao-robot", "companion robot (Yocto)", YOCTO, NONE),
+    FleetMember("diy-pi", "hobbyist Raspberry Pi", UBUNTU_MATE_PI, WX_ASLR),
+    FleetMember("new-tv", "smart TV (Tizen 4, patched)", TIZEN_4, WX_ASLR),
+)
+
+
+def build_household(ssid: str,
+                    members: Optional[List[FleetMember]] = None) -> List[IoTDevice]:
+    """Instantiate every device, all trusting the same home SSID."""
+    blueprint = DEFAULT_HOUSEHOLD if members is None else members
+    return [member.build(ssid) for member in blueprint]
+
+
+@dataclass
+class FleetAttackOutcome:
+    device: IoTDevice
+    kind: str
+    roamed: bool
+    compromised: bool
+    detail: str
+
+    def row(self):
+        return (
+            self.device.name,
+            self.kind,
+            str(self.device.firmware.connman_version),
+            self.device.profile.label(),
+            self.roamed,
+            "ROOT SHELL" if self.compromised else self.detail,
+        )

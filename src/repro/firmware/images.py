@@ -1,0 +1,118 @@
+"""Firmware catalog — the paper's survey of shipping images (§III).
+
+"We found three major embedded operating systems that still contain
+vulnerable versions of Connman: the Yocto project ... compiles
+distributions with Connman 1.31; OpenELEC ... comes with Connman 1.34, the
+last vulnerable version; Tizen OS ... utilizes a vulnerable version of
+Connman up until version 4.0."  The controlled experiments themselves ran
+Ubuntu 16.04 (x86) and Ubuntu Mate 16.04 on a Raspberry Pi 3B (ARMv7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..connman import ConnmanVersion
+from ..defenses import ProtectionProfile
+
+
+@dataclass(frozen=True)
+class FirmwareImage:
+    name: str
+    os_name: str
+    os_version: str
+    arch: str
+    connman_version: ConnmanVersion
+    #: Protections the image ships with by default.
+    default_profile: ProtectionProfile
+    notes: str = ""
+
+    @property
+    def ships_vulnerable_connman(self) -> bool:
+        return self.connman_version.is_vulnerable
+
+    def describe(self) -> str:
+        status = "VULNERABLE" if self.ships_vulnerable_connman else "patched"
+        return (
+            f"{self.name}: {self.os_name} {self.os_version} ({self.arch}), "
+            f"connman {self.connman_version} [{status}]"
+        )
+
+
+def _v(text: str) -> ConnmanVersion:
+    return ConnmanVersion.parse(text)
+
+
+#: Mainline distro images from the paper's survey (all ARMv7 targets).
+YOCTO = FirmwareImage(
+    name="yocto-pyro",
+    os_name="Yocto Project",
+    os_version="2.3 (pyro)",
+    arch="arm",
+    connman_version=_v("1.31"),
+    default_profile=ProtectionProfile(wx=True, aslr=True),
+    notes="embedded OS development platform; compiles distributions with connman 1.31",
+)
+
+OPENELEC = FirmwareImage(
+    name="openelec-8",
+    os_name="OpenELEC",
+    os_version="8.0",
+    arch="arm",
+    connman_version=_v("1.34"),
+    default_profile=ProtectionProfile(wx=True, aslr=True),
+    notes="media streaming OS; ships the last vulnerable connman release",
+)
+
+TIZEN_3 = FirmwareImage(
+    name="tizen-3",
+    os_name="Tizen OS",
+    os_version="3.0",
+    arch="arm",
+    connman_version=_v("1.34"),
+    default_profile=ProtectionProfile(wx=True, aslr=True),
+    notes="bedrock for Samsung devices; vulnerable until Tizen 4.0",
+)
+
+TIZEN_4 = FirmwareImage(
+    name="tizen-4",
+    os_name="Tizen OS",
+    os_version="4.0",
+    arch="arm",
+    connman_version=_v("1.35"),
+    default_profile=ProtectionProfile(wx=True, aslr=True),
+    notes="first Tizen release with the dnsproxy fix",
+)
+
+#: The controlled-experiment hosts.
+UBUNTU_X86 = FirmwareImage(
+    name="ubuntu-16.04-x86",
+    os_name="Ubuntu",
+    os_version="16.04 LTS",
+    arch="x86",
+    connman_version=_v("1.34"),
+    default_profile=ProtectionProfile(wx=True, aslr=True),
+    notes="32-bit VM used for the x86 PoCs; protections toggled per experiment",
+)
+
+UBUNTU_MATE_PI = FirmwareImage(
+    name="ubuntu-mate-16.04-rpi",
+    os_name="Ubuntu Mate",
+    os_version="16.04 LTS",
+    arch="arm",
+    connman_version=_v("1.34"),
+    default_profile=ProtectionProfile(wx=True, aslr=True),
+    notes="Raspberry Pi 3 Model B v1.2 image used for the ARMv7 PoCs",
+)
+
+FIRMWARE_CATALOG: Tuple[FirmwareImage, ...] = (
+    YOCTO, OPENELEC, TIZEN_3, TIZEN_4, UBUNTU_X86, UBUNTU_MATE_PI,
+)
+
+
+def catalog_by_name(name: str) -> FirmwareImage:
+    for image in FIRMWARE_CATALOG:
+        if image.name == name:
+            return image
+    raise KeyError(f"no firmware image named {name!r}")

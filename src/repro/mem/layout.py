@@ -1,0 +1,113 @@
+"""Per-architecture address-space layouts and the ASLR model.
+
+The simulated Connman binary is a classic non-PIE 32-bit ELF, so Address
+Space Layout Randomization affects only the *dynamic* regions — the libc
+mapping, the stack and the heap.  ``.text``/``.plt``/``.data``/``.bss`` stay
+at their link-time addresses.  This asymmetry is the load-bearing fact behind
+the paper's W^X+ASLR bypass: gadgets and PLT entries in ``.text`` and the
+scratch space in ``.bss`` remain at known addresses while libc moves.
+
+Default (un-randomized) bases are chosen to resemble the paper's listings:
+ARM ``.text`` near ``0x00010000`` (gadget ``0x000112b1``), libc near
+``0x76d00000`` (``/bin/sh`` at ``0x76d853e4``), stack near ``0x7eff0000``
+(placeholder ``0x7effd2c4``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+PAGE_SIZE = 0x1000
+PAGE_MASK = ~(PAGE_SIZE - 1) & 0xFFFFFFFF
+
+
+def page_align_down(address: int) -> int:
+    return address & PAGE_MASK
+
+
+def page_align_up(address: int) -> int:
+    return (address + PAGE_SIZE - 1) & PAGE_MASK
+
+
+@dataclass(frozen=True)
+class MemoryLayout:
+    """Concrete base addresses for one process instantiation."""
+
+    arch: str
+    text_base: int
+    libc_base: int
+    heap_base: int
+    heap_size: int
+    stack_top: int
+    stack_size: int
+
+    @property
+    def stack_base(self) -> int:
+        """Lowest mapped stack address."""
+        return self.stack_top - self.stack_size
+
+    def describe(self) -> str:
+        return (
+            f"{self.arch}: text={self.text_base:#010x} libc={self.libc_base:#010x} "
+            f"heap={self.heap_base:#010x} stack={self.stack_base:#010x}-{self.stack_top:#010x}"
+        )
+
+
+#: Link-time layouts, ASLR disabled — fully deterministic.
+X86_LAYOUT = MemoryLayout(
+    arch="x86",
+    text_base=0x08048000,
+    libc_base=0xB7E00000,
+    heap_base=0x08100000,
+    heap_size=0x40000,
+    stack_top=0xBFFFF000,
+    stack_size=0x10000,
+)
+
+ARM_LAYOUT = MemoryLayout(
+    arch="arm",
+    text_base=0x00010000,
+    libc_base=0x76D00000,
+    heap_base=0x00200000,
+    heap_size=0x40000,
+    stack_top=0x7EFFE000,
+    stack_size=0x10000,
+)
+
+BASE_LAYOUTS = {"x86": X86_LAYOUT, "arm": ARM_LAYOUT}
+
+#: Randomization spans mirror 32-bit Linux: mmap (libc) gets ~8 bits of
+#: page-granular entropy here, the stack ~11 bits of 16-byte-granular entropy.
+LIBC_SLIDE_PAGES = 256
+STACK_SLIDE_UNITS = 2048
+STACK_SLIDE_GRANULE = 16
+
+
+@dataclass(frozen=True)
+class AslrPolicy:
+    """Whether and how dynamic regions are randomized at process start."""
+
+    enabled: bool
+    libc_slide_pages: int = LIBC_SLIDE_PAGES
+    stack_slide_units: int = STACK_SLIDE_UNITS
+
+    def instantiate(self, arch: str, rng: random.Random) -> MemoryLayout:
+        """Produce the concrete layout for one exec of the daemon."""
+        base = BASE_LAYOUTS[arch]
+        if not self.enabled:
+            return base
+        libc_slide = rng.randrange(self.libc_slide_pages) * PAGE_SIZE
+        stack_slide = rng.randrange(self.stack_slide_units) * STACK_SLIDE_GRANULE
+        heap_slide = rng.randrange(64) * PAGE_SIZE
+        return replace(
+            base,
+            libc_base=base.libc_base - libc_slide,
+            stack_top=base.stack_top - page_align_down(stack_slide) - (stack_slide % PAGE_SIZE),
+            heap_base=base.heap_base + heap_slide,
+        )
+
+
+def layout_for(arch: str, *, aslr: bool, rng: random.Random) -> MemoryLayout:
+    """Convenience wrapper used by the loader."""
+    return AslrPolicy(enabled=aslr).instantiate(arch, rng)

@@ -1,0 +1,38 @@
+"""Page-permission flags for simulated segments."""
+
+from __future__ import annotations
+
+import enum
+
+
+class Perm(enum.Flag):
+    """R/W/X permission bits, combinable like mmap protection flags."""
+
+    NONE = 0
+    R = enum.auto()
+    W = enum.auto()
+    X = enum.auto()
+    RW = R | W
+    RX = R | X
+    RWX = R | W | X
+
+    def describe(self) -> str:
+        """Render like the ``perms`` column of ``/proc/<pid>/maps``."""
+        return "".join(
+            flag_char if flag in self else "-"
+            for flag, flag_char in ((Perm.R, "r"), (Perm.W, "w"), (Perm.X, "x"))
+        )
+
+    @classmethod
+    def parse(cls, text: str) -> "Perm":
+        """Parse a ``"rwx"`` / ``"r-x"`` style string."""
+        perm = cls.NONE
+        mapping = {"r": cls.R, "w": cls.W, "x": cls.X}
+        for char in text:
+            if char == "-":
+                continue
+            try:
+                perm |= mapping[char.lower()]
+            except KeyError:
+                raise ValueError(f"unknown permission character {char!r}") from None
+        return perm

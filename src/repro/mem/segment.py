@@ -1,0 +1,67 @@
+"""A contiguous mapped region of the simulated address space."""
+
+from __future__ import annotations
+
+from .errors import AccessViolation, WxViolation
+from .perms import Perm
+
+
+class Segment:
+    """A named, permissioned, contiguous byte range.
+
+    Mirrors one line of ``/proc/<pid>/maps``: a base address, a size, R/W/X
+    permissions and backing bytes.  All accesses are bounds-checked by the
+    owning :class:`~repro.mem.space.AddressSpace`; the segment enforces only
+    permissions.
+    """
+
+    def __init__(self, name: str, base: int, size: int, perm: Perm):
+        if size <= 0:
+            raise ValueError(f"segment {name!r} must have positive size, got {size}")
+        if base < 0 or base + size > 2**32:
+            raise ValueError(
+                f"segment {name!r} [{base:#x}, {base + size:#x}) outside 32-bit space"
+            )
+        self.name = name
+        self.base = base
+        self.size = size
+        self.perm = perm
+        self.data = bytearray(size)
+
+    @property
+    def end(self) -> int:
+        """One past the last mapped address."""
+        return self.base + self.size
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.end
+
+    def overlaps(self, other: "Segment") -> bool:
+        return self.base < other.end and other.base < self.end
+
+    # -- raw access (permission-checked) ------------------------------------
+
+    def read(self, address: int, length: int, *, check: bool = True) -> bytes:
+        if check and Perm.R not in self.perm:
+            raise AccessViolation(address, "R", f"read from non-readable segment {self.name!r}")
+        offset = address - self.base
+        return bytes(self.data[offset : offset + length])
+
+    def write(self, address: int, payload: bytes, *, check: bool = True) -> None:
+        if check and Perm.W not in self.perm:
+            raise AccessViolation(address, "W", f"write to non-writable segment {self.name!r}")
+        offset = address - self.base
+        self.data[offset : offset + len(payload)] = payload
+
+    def fetch(self, address: int, length: int) -> bytes:
+        """Instruction fetch — requires X, raising :class:`WxViolation` otherwise."""
+        if Perm.X not in self.perm:
+            raise WxViolation(address, f"fetch from non-executable segment {self.name!r}")
+        offset = address - self.base
+        return bytes(self.data[offset : offset + length])
+
+    def describe(self) -> str:
+        return f"{self.base:08x}-{self.end:08x} {self.perm.describe()} {self.name}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Segment({self.describe()})"

@@ -1,0 +1,190 @@
+"""The simulated 32-bit address space of a victim process."""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, Iterator, List, Optional
+
+from .errors import UnmappedAddressError
+from .perms import Perm
+from .segment import Segment
+
+ADDRESS_MASK = 0xFFFFFFFF
+
+
+class AddressSpace:
+    """A flat 32-bit address space built from non-overlapping segments.
+
+    This is the single source of truth for process memory: the Connman
+    simulation writes its stack frames here, the CPU emulators fetch
+    instructions from here, and libc stubs (``memcpy``) copy bytes here.
+    Accesses that cross segment boundaries or touch unmapped addresses fault
+    exactly like the real process would.
+    """
+
+    def __init__(self) -> None:
+        self._segments: List[Segment] = []
+
+    # -- mapping -------------------------------------------------------------
+
+    def map(self, segment: Segment) -> Segment:
+        """Map a segment, refusing overlaps."""
+        for existing in self._segments:
+            if existing.overlaps(segment):
+                raise ValueError(
+                    f"segment {segment.name!r} overlaps {existing.name!r} "
+                    f"({existing.describe()})"
+                )
+        self._segments.append(segment)
+        self._segments.sort(key=lambda seg: seg.base)
+        return segment
+
+    def map_new(self, name: str, base: int, size: int, perm: Perm) -> Segment:
+        """Create and map a segment in one call."""
+        return self.map(Segment(name, base, size, perm))
+
+    def unmap(self, name: str) -> None:
+        before = len(self._segments)
+        self._segments = [seg for seg in self._segments if seg.name != name]
+        if len(self._segments) == before:
+            raise KeyError(f"no segment named {name!r}")
+
+    def segments(self) -> Iterator[Segment]:
+        return iter(self._segments)
+
+    def segment(self, name: str) -> Segment:
+        for seg in self._segments:
+            if seg.name == name:
+                return seg
+        raise KeyError(f"no segment named {name!r}")
+
+    def has_segment(self, name: str) -> bool:
+        return any(seg.name == name for seg in self._segments)
+
+    def segment_at(self, address: int) -> Segment:
+        """Return the segment covering ``address`` or fault."""
+        for seg in self._segments:
+            if seg.contains(address):
+                return seg
+        raise UnmappedAddressError(address & ADDRESS_MASK)
+
+    def is_mapped(self, address: int, length: int = 1) -> bool:
+        """True if the whole ``[address, address+length)`` range is mapped."""
+        try:
+            self._resolve(address, length)
+        except UnmappedAddressError:
+            return False
+        return True
+
+    def _resolve(self, address: int, length: int) -> List[Segment]:
+        """Return the segments covering a range, faulting on any gap."""
+        if length <= 0:
+            return []
+        address &= ADDRESS_MASK
+        covering: List[Segment] = []
+        cursor = address
+        end = address + length
+        while cursor < end:
+            seg = self.segment_at(cursor)
+            covering.append(seg)
+            cursor = seg.end
+        return covering
+
+    # -- byte access ----------------------------------------------------------
+
+    def read(self, address: int, length: int, *, check: bool = True) -> bytes:
+        """Read bytes, spanning segment boundaries if mappings are contiguous."""
+        address &= ADDRESS_MASK
+        chunks = []
+        cursor = address
+        remaining = length
+        for seg in self._resolve(address, length):
+            take = min(remaining, seg.end - cursor)
+            chunks.append(seg.read(cursor, take, check=check))
+            cursor += take
+            remaining -= take
+        return b"".join(chunks)
+
+    def write(self, address: int, payload: bytes, *, check: bool = True) -> None:
+        """Write bytes, spanning contiguous segments; faults on gaps/permissions."""
+        address &= ADDRESS_MASK
+        cursor = address
+        offset = 0
+        for seg in self._resolve(address, len(payload)):
+            take = min(len(payload) - offset, seg.end - cursor)
+            seg.write(cursor, payload[offset : offset + take], check=check)
+            cursor += take
+            offset += take
+
+    def fetch(self, address: int, length: int) -> bytes:
+        """Instruction fetch (X-checked) — the W^X enforcement point."""
+        address &= ADDRESS_MASK
+        chunks = []
+        cursor = address
+        remaining = length
+        for seg in self._resolve(address, length):
+            take = min(remaining, seg.end - cursor)
+            chunks.append(seg.fetch(cursor, take))
+            cursor += take
+            remaining -= take
+        return b"".join(chunks)
+
+    # -- typed helpers ---------------------------------------------------------
+
+    def read_u8(self, address: int) -> int:
+        return self.read(address, 1)[0]
+
+    def read_u16(self, address: int) -> int:
+        return struct.unpack("<H", self.read(address, 2))[0]
+
+    def read_u32(self, address: int) -> int:
+        return struct.unpack("<I", self.read(address, 4))[0]
+
+    def write_u8(self, address: int, value: int) -> None:
+        self.write(address, bytes([value & 0xFF]))
+
+    def write_u16(self, address: int, value: int) -> None:
+        self.write(address, struct.pack("<H", value & 0xFFFF))
+
+    def write_u32(self, address: int, value: int) -> None:
+        self.write(address, struct.pack("<I", value & ADDRESS_MASK))
+
+    def read_cstring(self, address: int, limit: int = 4096) -> bytes:
+        """Read a NUL-terminated string (used by execve/system stubs)."""
+        out = bytearray()
+        cursor = address
+        while len(out) < limit:
+            byte = self.read_u8(cursor)
+            if byte == 0:
+                return bytes(out)
+            out.append(byte)
+            cursor += 1
+        return bytes(out)
+
+    def write_cstring(self, address: int, value: bytes) -> None:
+        self.write(address, value + b"\x00")
+
+    # -- search / introspection -------------------------------------------------
+
+    def find(self, needle: bytes, *, segment_names: Optional[Iterable[str]] = None) -> List[int]:
+        """Find every occurrence of ``needle`` (the ``-memstr`` primitive)."""
+        wanted = set(segment_names) if segment_names is not None else None
+        hits: List[int] = []
+        for seg in self._segments:
+            if wanted is not None and seg.name not in wanted:
+                continue
+            start = 0
+            while True:
+                index = seg.data.find(needle, start)
+                if index < 0:
+                    break
+                hits.append(seg.base + index)
+                start = index + 1
+        return hits
+
+    def maps(self) -> str:
+        """Render the mapping table like ``/proc/<pid>/maps``."""
+        return "\n".join(seg.describe() for seg in self._segments)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AddressSpace({len(self._segments)} segments)"

@@ -1,0 +1,39 @@
+"""Simulated network: hosts, LANs, DHCP, wireless roaming, Wi-Fi Pineapple."""
+
+from .dhcp import DhcpAck, DhcpOffer, DhcpServer, run_handshake
+from .host import Host, UdpHandler, next_mac
+from .network import Network
+from .packets import DHCP_SERVER_PORT, DNS_PORT, UdpDatagram
+from .sniffer import CapturedPacket, PacketSniffer
+from .pineapple import DEFAULT_ROGUE_SIGNAL_DBM, PINEAPPLE_SUBNET, WifiPineapple
+from .wireless import (
+    AccessPoint,
+    AssociationRecord,
+    RadioEnvironment,
+    WirelessStation,
+    next_bssid,
+)
+
+__all__ = [
+    "AccessPoint",
+    "AssociationRecord",
+    "DEFAULT_ROGUE_SIGNAL_DBM",
+    "DhcpAck",
+    "DhcpOffer",
+    "DhcpServer",
+    "DHCP_SERVER_PORT",
+    "DNS_PORT",
+    "Host",
+    "Network",
+    "CapturedPacket",
+    "PacketSniffer",
+    "next_bssid",
+    "next_mac",
+    "PINEAPPLE_SUBNET",
+    "RadioEnvironment",
+    "run_handshake",
+    "UdpDatagram",
+    "UdpHandler",
+    "WifiPineapple",
+    "WirelessStation",
+]

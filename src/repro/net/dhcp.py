@@ -1,0 +1,75 @@
+"""DHCP: the lever the Pineapple pulls to point victims at the rogue DNS.
+
+Models the DISCOVER → OFFER → REQUEST → ACK exchange with the two options
+that matter for the attack: router and domain-name-server.  "We set the
+Pineapple to ... utilize DHCP to assign our malicious DNS server to
+clients" (§III-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class DhcpOffer:
+    ip: str
+    router: str
+    dns_server: str
+    lease_seconds: int = 86400
+
+
+@dataclass(frozen=True)
+class DhcpAck:
+    offer: DhcpOffer
+    server_id: str
+
+
+class DhcpServer:
+    """Address pool plus the network configuration options it hands out."""
+
+    def __init__(self, subnet_prefix: str, router: str, dns_server: str,
+                 pool_start: int = 50, pool_size: int = 100):
+        self.subnet_prefix = subnet_prefix
+        self.router = router
+        self.dns_server = dns_server
+        self.pool_start = pool_start
+        self.pool_size = pool_size
+        self._leases: Dict[str, DhcpOffer] = {}
+
+    def handle_discover(self, mac: str) -> Optional[DhcpOffer]:
+        existing = self._leases.get(mac)
+        if existing is not None:
+            return existing
+        index = len(self._leases)
+        if index >= self.pool_size:
+            return None
+        offer = DhcpOffer(
+            ip=f"{self.subnet_prefix}.{self.pool_start + index}",
+            router=self.router,
+            dns_server=self.dns_server,
+        )
+        return offer
+
+    def handle_request(self, mac: str, offer: DhcpOffer) -> Optional[DhcpAck]:
+        granted = self.handle_discover(mac)
+        if granted is None or granted.ip != offer.ip:
+            return None
+        self._leases[mac] = granted
+        return DhcpAck(offer=granted, server_id=self.router)
+
+    def lease_for(self, mac: str) -> Optional[DhcpOffer]:
+        return self._leases.get(mac)
+
+    @property
+    def lease_count(self) -> int:
+        return len(self._leases)
+
+
+def run_handshake(server: DhcpServer, mac: str) -> Optional[DhcpAck]:
+    """Client-side DISCOVER/OFFER/REQUEST/ACK against one server."""
+    offer = server.handle_discover(mac)
+    if offer is None:
+        return None
+    return server.handle_request(mac, offer)

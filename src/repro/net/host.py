@@ -1,0 +1,81 @@
+"""Hosts: addressable endpoints with UDP services and resolver config."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Optional, TYPE_CHECKING
+
+from .packets import DNS_PORT, UdpDatagram
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .network import Network
+
+#: A UDP service: request payload + datagram context -> optional response.
+UdpHandler = Callable[[bytes, UdpDatagram], Optional[bytes]]
+
+_mac_counter = itertools.count(1)
+
+
+def next_mac() -> str:
+    value = next(_mac_counter)
+    return "02:00:00:%02x:%02x:%02x" % ((value >> 16) & 0xFF, (value >> 8) & 0xFF, value & 0xFF)
+
+
+class Host:
+    """One machine on (at most) one network at a time."""
+
+    def __init__(self, name: str, mac: Optional[str] = None):
+        self.name = name
+        self.mac = mac or next_mac()
+        self.ip: Optional[str] = None
+        self.network: Optional["Network"] = None
+        self.gateway: Optional[str] = None
+        #: /etc/resolv.conf equivalent.
+        self.dns_server: Optional[str] = None
+        self._services: Dict[int, UdpHandler] = {}
+
+    # -- configuration --------------------------------------------------------
+
+    def bind_udp(self, port: int, handler: UdpHandler) -> None:
+        if port in self._services:
+            raise ValueError(f"{self.name}: port {port} already bound")
+        self._services[port] = handler
+
+    def unbind_udp(self, port: int) -> None:
+        self._services.pop(port, None)
+
+    def service_on(self, port: int) -> Optional[UdpHandler]:
+        return self._services.get(port)
+
+    def configure(self, *, ip: str, gateway: Optional[str] = None,
+                  dns_server: Optional[str] = None) -> None:
+        self.ip = ip
+        if gateway is not None:
+            self.gateway = gateway
+        if dns_server is not None:
+            self.dns_server = dns_server
+
+    # -- traffic ------------------------------------------------------------------
+
+    def send_udp(self, dst_ip: str, dst_port: int, payload: bytes) -> Optional[bytes]:
+        """Synchronous request/response send over the attached network."""
+        if self.network is None or self.ip is None:
+            return None
+        return self.network.deliver(
+            UdpDatagram(src_ip=self.ip, src_port=40000, dst_ip=dst_ip,
+                        dst_port=dst_port, payload=payload)
+        )
+
+    def dns_transport(self) -> Callable[[bytes], Optional[bytes]]:
+        """A DNS transport to this host's configured resolver."""
+
+        def transport(query: bytes) -> Optional[bytes]:
+            if self.dns_server is None:
+                return None
+            return self.send_udp(self.dns_server, DNS_PORT, query)
+
+        return transport
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = f"{self.ip}@{self.network.name}" if self.network else "detached"
+        return f"Host({self.name!r}, {where})"

@@ -1,0 +1,83 @@
+"""A broadcast domain: attached hosts, IP assignment, datagram delivery."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .host import Host
+from .packets import UdpDatagram
+
+
+class Network:
+    """One LAN segment with a /24-ish address pool."""
+
+    def __init__(self, name: str, subnet_prefix: str = "192.168.1"):
+        self.name = name
+        self.subnet_prefix = subnet_prefix
+        self._hosts: Dict[str, Host] = {}
+        self._next_host_number = 100
+        self.traffic: List[UdpDatagram] = []
+
+    # -- membership ---------------------------------------------------------------
+
+    def allocate_ip(self) -> str:
+        while True:
+            candidate = f"{self.subnet_prefix}.{self._next_host_number}"
+            self._next_host_number += 1
+            if candidate not in self._hosts:
+                return candidate
+
+    def attach(self, host: Host, ip: Optional[str] = None) -> str:
+        if host.network is not None:
+            host.network.detach(host)
+        address = ip or self.allocate_ip()
+        if address in self._hosts:
+            raise ValueError(f"{self.name}: address {address} already in use")
+        self._hosts[address] = host
+        host.network = self
+        host.ip = address
+        return address
+
+    def detach(self, host: Host) -> None:
+        if host.ip in self._hosts and self._hosts[host.ip] is host:
+            del self._hosts[host.ip]
+        host.network = None
+        host.ip = None
+
+    def host_by_ip(self, ip: str) -> Optional[Host]:
+        return self._hosts.get(ip)
+
+    def hosts(self) -> List[Host]:
+        return list(self._hosts.values())
+
+    # -- delivery ---------------------------------------------------------------------
+
+    def deliver(self, datagram: UdpDatagram) -> Optional[bytes]:
+        """Route one datagram to its destination service, synchronously.
+
+        Both legs (request and the service's reply) land in the traffic
+        log, so taps see the whole exchange.
+        """
+        self.traffic.append(datagram)
+        destination = self.host_by_ip(datagram.dst_ip)
+        if destination is None:
+            return None
+        handler = destination.service_on(datagram.dst_port)
+        if handler is None:
+            return None
+        response = handler(datagram.payload, datagram)
+        if response is not None:
+            self.traffic.append(
+                UdpDatagram(
+                    src_ip=datagram.dst_ip,
+                    src_port=datagram.dst_port,
+                    dst_ip=datagram.src_ip,
+                    dst_port=datagram.src_port,
+                    payload=response,
+                )
+            )
+        return response
+
+    def describe(self) -> str:
+        members = ", ".join(f"{h.name}={ip}" for ip, h in sorted(self._hosts.items()))
+        return f"{self.name} ({self.subnet_prefix}.0/24): {members}"

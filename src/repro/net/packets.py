@@ -1,0 +1,23 @@
+"""Datagram model for the simulated LAN."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+DNS_PORT = 53
+DHCP_SERVER_PORT = 67
+
+
+@dataclass(frozen=True)
+class UdpDatagram:
+    src_ip: str
+    src_port: int
+    dst_ip: str
+    dst_port: int
+    payload: bytes
+
+    def describe(self) -> str:
+        return (
+            f"{self.src_ip}:{self.src_port} -> {self.dst_ip}:{self.dst_port} "
+            f"({len(self.payload)} bytes)"
+        )

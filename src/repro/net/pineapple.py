@@ -1,0 +1,71 @@
+"""The Wi-Fi Pineapple: rogue AP + DHCP + malicious DNS in one box (§III-D).
+
+``impersonate`` raises an evil twin of a trusted SSID at high signal; any
+station that roams to it gets a DHCP lease whose domain-name-server option
+points at the Pineapple itself, where the malicious DNS server (serving the
+exploit payload in every Type A answer) listens on port 53.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..dns import MaliciousDnsServer
+from .dhcp import DhcpServer
+from .host import Host
+from .network import Network
+from .packets import DNS_PORT
+from .wireless import AccessPoint, RadioEnvironment
+
+PINEAPPLE_SUBNET = "172.16.42"
+#: Strong enough to out-shout any household AP.
+DEFAULT_ROGUE_SIGNAL_DBM = -25
+
+
+class WifiPineapple:
+    """A portable rogue-AP platform with a payload-serving resolver."""
+
+    def __init__(self, dns_service: MaliciousDnsServer,
+                 subnet_prefix: str = PINEAPPLE_SUBNET):
+        self.network = Network("pineapple-lan", subnet_prefix=subnet_prefix)
+        self.host = Host("wifi-pineapple")
+        self.network.attach(self.host, ip=f"{subnet_prefix}.1")
+        self.dns_service = dns_service
+        self.host.bind_udp(DNS_PORT, lambda payload, _dgram: dns_service.handle_query(payload))
+        self.dhcp = DhcpServer(
+            subnet_prefix=subnet_prefix,
+            router=self.host.ip,
+            dns_server=self.host.ip,  # the rogue resolver is the box itself
+        )
+        self.broadcasts: List[AccessPoint] = []
+
+    def serve_payload(self, dns_service: MaliciousDnsServer) -> None:
+        """Swap the payload being served (e.g. escalate up the ladder)."""
+        self.dns_service = dns_service
+        self.host.unbind_udp(DNS_PORT)
+        self.host.bind_udp(DNS_PORT, lambda payload, _dgram: dns_service.handle_query(payload))
+
+    def impersonate(
+        self,
+        ssid: str,
+        radio: RadioEnvironment,
+        signal_dbm: int = DEFAULT_ROGUE_SIGNAL_DBM,
+    ) -> AccessPoint:
+        """Broadcast an evil twin of ``ssid`` into the radio environment."""
+        ap = AccessPoint(
+            ssid=ssid, network=self.network, dhcp=self.dhcp, signal_dbm=signal_dbm
+        )
+        self.broadcasts.append(ap)
+        radio.add(ap)
+        return ap
+
+    def stop_broadcast(self, radio: RadioEnvironment, ap: Optional[AccessPoint] = None) -> None:
+        targets = [ap] if ap is not None else list(self.broadcasts)
+        for target in targets:
+            radio.remove(target)
+            self.broadcasts.remove(target)
+
+    @property
+    def captured_queries(self) -> List[str]:
+        """DNS names the rogue resolver has answered with payloads."""
+        return list(self.dns_service.served)

@@ -1,0 +1,97 @@
+"""Packet capture and analysis over the simulated LAN.
+
+A :class:`PacketSniffer` taps one or more networks and renders a
+tcpdump-ish view of the traffic, decoding DNS payloads — the tool the
+defender (or the curious reader) points at the Pineapple LAN to watch the
+exploit-bearing answers fly by.  Detection heuristics flag the paper's
+payloads: answers whose name field is wildly oversized or carries
+non-hostname bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..dns import HEADER_LENGTH, Message
+from .network import Network
+from .packets import DNS_PORT, UdpDatagram
+
+#: Benign hostnames stay well under this on the wire (RFC 1035: 255).
+SUSPICIOUS_NAME_WIRE_LENGTH = 255
+
+
+@dataclass
+class CapturedPacket:
+    datagram: UdpDatagram
+    network: str
+    dns: Optional[Message] = None
+    suspicious: bool = False
+    reason: str = ""
+
+    def describe(self) -> str:
+        base = f"[{self.network}] {self.datagram.describe()}"
+        if self.dns is not None:
+            kind = "response" if self.dns.is_response else "query"
+            names = ", ".join(q.name for q in self.dns.questions) or "?"
+            base += f" DNS {kind} id={self.dns.id} {names}"
+        if self.suspicious:
+            base += f"  !! {self.reason}"
+        return base
+
+
+@dataclass
+class PacketSniffer:
+    """Tap networks and classify what crosses them."""
+
+    captured: List[CapturedPacket] = field(default_factory=list)
+    _cursors: dict = field(default_factory=dict)
+    _networks: List[Network] = field(default_factory=list)
+
+    def attach(self, network: Network) -> None:
+        if network not in self._networks:
+            self._networks.append(network)
+            self._cursors[network.name] = len(network.traffic)
+
+    def poll(self) -> List[CapturedPacket]:
+        """Pull newly-seen datagrams from every attached network."""
+        fresh: List[CapturedPacket] = []
+        for network in self._networks:
+            cursor = self._cursors[network.name]
+            for datagram in network.traffic[cursor:]:
+                fresh.append(self._classify(datagram, network.name))
+            self._cursors[network.name] = len(network.traffic)
+        self.captured.extend(fresh)
+        return fresh
+
+    def _classify(self, datagram: UdpDatagram, network_name: str) -> CapturedPacket:
+        packet = CapturedPacket(datagram=datagram, network=network_name)
+        if datagram.dst_port != DNS_PORT and datagram.src_port != DNS_PORT:
+            return packet
+        try:
+            packet.dns = Message.decode(datagram.payload)
+        except Exception:
+            # The benign codec refused it: oversized labels / raw exploit
+            # bytes in the answer name — exactly the paper's payload shape.
+            if len(datagram.payload) >= HEADER_LENGTH:
+                packet.suspicious = True
+                packet.reason = "undecodable DNS payload (malformed name field)"
+            return packet
+        if packet.dns.is_response:
+            wire_answers = len(datagram.payload) - HEADER_LENGTH
+            if wire_answers > SUSPICIOUS_NAME_WIRE_LENGTH + 64:
+                packet.suspicious = True
+                packet.reason = f"oversized response body ({wire_answers} bytes)"
+        return packet
+
+    # -- reporting --------------------------------------------------------------
+
+    def dns_packets(self) -> List[CapturedPacket]:
+        return [p for p in self.captured if p.dns is not None or p.suspicious]
+
+    def suspicious_packets(self) -> List[CapturedPacket]:
+        return [p for p in self.captured if p.suspicious]
+
+    def describe(self, last: Optional[int] = None) -> str:
+        packets = self.captured if last is None else self.captured[-last:]
+        return "\n".join(p.describe() for p in packets)

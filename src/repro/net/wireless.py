@@ -1,0 +1,107 @@
+"""Wireless layer: access points, signal strength, station roaming.
+
+Association policy mirrors what makes the evil-twin attack work on real
+clients: a station joins the *strongest* access point broadcasting an SSID
+it knows — "the Wi-Fi Pineapple is able to broadcast a stronger signal than
+the legitimate access point, causing our targeted machine to switch its
+connection" (§III-D).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .dhcp import DhcpServer, run_handshake
+from .host import Host
+from .network import Network
+
+_bssid_counter = itertools.count(1)
+
+
+def next_bssid() -> str:
+    value = next(_bssid_counter)
+    return "aa:bb:cc:%02x:%02x:%02x" % ((value >> 16) & 0xFF, (value >> 8) & 0xFF, value & 0xFF)
+
+
+@dataclass
+class AccessPoint:
+    """One BSS: an SSID at a signal level, backed by a network + DHCP."""
+
+    ssid: str
+    network: Network
+    dhcp: DhcpServer
+    signal_dbm: int = -60
+    bssid: str = field(default_factory=next_bssid)
+
+    def describe(self) -> str:
+        return f"{self.ssid} [{self.bssid}] {self.signal_dbm} dBm on {self.network.name}"
+
+
+class RadioEnvironment:
+    """Everything currently on the air at the victim's location."""
+
+    def __init__(self) -> None:
+        self._aps: List[AccessPoint] = []
+
+    def add(self, ap: AccessPoint) -> AccessPoint:
+        self._aps.append(ap)
+        return ap
+
+    def remove(self, ap: AccessPoint) -> None:
+        self._aps.remove(ap)
+
+    def scan(self) -> List[AccessPoint]:
+        """Visible APs, strongest first (the order a scan list shows)."""
+        return sorted(self._aps, key=lambda ap: ap.signal_dbm, reverse=True)
+
+
+@dataclass
+class AssociationRecord:
+    ap: AccessPoint
+    ip: str
+    dns_server: str
+
+
+class WirelessStation:
+    """A Wi-Fi client interface for one host, with auto-join semantics."""
+
+    def __init__(self, host: Host, known_ssids: List[str]):
+        self.host = host
+        self.known_ssids = list(known_ssids)
+        self.association: Optional[AssociationRecord] = None
+        self.history: List[AssociationRecord] = []
+
+    def best_candidate(self, radio: RadioEnvironment) -> Optional[AccessPoint]:
+        for ap in radio.scan():
+            if ap.ssid in self.known_ssids:
+                return ap
+        return None
+
+    def associate(self, ap: AccessPoint) -> AssociationRecord:
+        """Join the AP: attach to its network and run DHCP (auto settings)."""
+        ack = run_handshake(ap.dhcp, self.host.mac)
+        if ack is None:
+            raise RuntimeError(f"{ap.ssid}: DHCP pool exhausted")
+        ap.network.attach(self.host, ip=ack.offer.ip)
+        self.host.configure(
+            ip=ack.offer.ip, gateway=ack.offer.router, dns_server=ack.offer.dns_server
+        )
+        self.association = AssociationRecord(
+            ap=ap, ip=ack.offer.ip, dns_server=ack.offer.dns_server
+        )
+        self.history.append(self.association)
+        return self.association
+
+    def auto_join(self, radio: RadioEnvironment) -> Optional[AssociationRecord]:
+        """Scan and (re)associate to the strongest known SSID.
+
+        Returns the new association when the station moved, None otherwise.
+        """
+        candidate = self.best_candidate(radio)
+        if candidate is None:
+            return None
+        if self.association is not None and self.association.ap is candidate:
+            return None
+        return self.associate(candidate)

@@ -1,0 +1,43 @@
+"""§V adaptation targets: dnsmasq/systemd/asterisk (DNS), HTTP and TCP victims."""
+
+from .adapt import (
+    AdaptationReport,
+    adapt_exploit,
+    deliver_to_service,
+    knowledge_for_service,
+)
+from .victims import (
+    ALL_SPECS,
+    ASTERISK,
+    AdaptedService,
+    DNSMASQ,
+    EMBEDDED_HTTPD,
+    RawCopyCore,
+    ROUTER_HTTPD,
+    ServiceSpec,
+    SYSTEMD_RESOLVED,
+    TCP_SERVICE,
+    http_respond,
+    make_http_request,
+    make_tcp_packet,
+)
+
+__all__ = [
+    "adapt_exploit",
+    "AdaptationReport",
+    "AdaptedService",
+    "ALL_SPECS",
+    "ASTERISK",
+    "deliver_to_service",
+    "DNSMASQ",
+    "EMBEDDED_HTTPD",
+    "knowledge_for_service",
+    "http_respond",
+    "make_http_request",
+    "make_tcp_packet",
+    "RawCopyCore",
+    "ROUTER_HTTPD",
+    "ServiceSpec",
+    "SYSTEMD_RESOLVED",
+    "TCP_SERVICE",
+]

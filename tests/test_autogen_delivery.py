@@ -1,0 +1,88 @@
+"""Delivery pipeline and the automated exploit generator (§VII)."""
+
+import pytest
+
+from repro.connman import EventKind
+from repro.defenses import NONE, WX, WX_ASLR, FULL, ProtectionProfile
+from repro.exploit import (
+    AutoExploiter,
+    builder_for,
+    deliver,
+    generate,
+    malicious_server_for,
+)
+from repro.core import AttackScenario, attacker_knowledge
+from tests.conftest import fresh_daemon
+
+
+class TestDelivery:
+    def test_report_fields(self):
+        knowledge = attacker_knowledge(AttackScenario("x86", "none", NONE))
+        exploit = builder_for("x86", NONE).build(knowledge)
+        report = deliver(exploit, fresh_daemon("x86", profile=NONE), lure_name="l.example")
+        assert report.lure_name == "l.example"
+        assert report.got_root_shell
+        assert not report.crashed_daemon
+        assert "x86-code-injection" in report.describe()
+
+    def test_malicious_server_serves_exploit_blob(self):
+        knowledge = attacker_knowledge(AttackScenario("x86", "none", NONE))
+        exploit = builder_for("x86", NONE).build(knowledge)
+        server = malicious_server_for(exploit)
+        from repro.dns import make_query
+
+        reply = server.handle_query(make_query(3, "x.example").encode())
+        assert exploit.blob in reply
+
+    def test_generate_respects_profile(self):
+        knowledge = attacker_knowledge(AttackScenario("arm", "W^X", WX))
+        exploit = generate(knowledge, WX)
+        assert exploit.strategy == "ret2libc"
+
+
+class TestAutoExploiter:
+    def test_first_rung_wins_without_protections(self):
+        victim = fresh_daemon("x86", profile=NONE)
+        result = AutoExploiter(victim).run()
+        assert result.succeeded
+        assert result.winning_strategy == "code-injection"
+        assert len(result.attempts) == 1
+
+    def test_second_rung_after_wx_crash(self):
+        victim = fresh_daemon("x86", profile=WX)
+        result = AutoExploiter(victim).run()
+        assert result.succeeded
+        assert result.winning_strategy == "ret2libc"
+        assert victim.boots == 2  # one respawn after the code-injection crash
+
+    def test_third_rung_under_full_protections(self):
+        victim = fresh_daemon("arm", profile=WX_ASLR)
+        result = AutoExploiter(victim).run()
+        assert result.succeeded
+        assert result.winning_strategy == "rop"
+        assert len(result.attempts) == 3
+
+    def test_fully_hardened_victim_defeats_ladder(self):
+        victim = fresh_daemon("arm", profile=FULL)
+        result = AutoExploiter(victim).run()
+        assert not result.succeeded
+        assert result.winning_strategy is None
+
+    def test_patched_victim_defeats_ladder(self):
+        victim = fresh_daemon("x86", version="1.35", profile=NONE)
+        result = AutoExploiter(victim).run()
+        assert not result.succeeded
+        # Nothing ever crashed it, either.
+        assert victim.boots == 1
+
+    def test_describe_lists_attempts(self):
+        victim = fresh_daemon("x86", profile=WX)
+        text = AutoExploiter(victim).run().describe()
+        assert "code-injection" in text and "verdict" in text
+
+    def test_diversity_defeats_ladder(self):
+        victim = fresh_daemon(
+            "x86", profile=ProtectionProfile(wx=True, aslr=True, diversity_seed=9)
+        )
+        result = AutoExploiter(victim).run()
+        assert not result.succeeded

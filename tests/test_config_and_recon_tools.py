@@ -1,0 +1,123 @@
+"""main.conf parsing, fallback nameservers, and gdb-style recon tools."""
+
+import pytest
+
+from repro.connman import EventKind
+from repro.connman.config import DEFAULT_MAIN_CONF, MainConfError, parse_main_conf
+from repro.defenses import WX_ASLR
+from repro.dns import SimpleDnsServer
+from repro.exploit import Debugger, GadgetFinder
+from repro.firmware import IoTDevice, UBUNTU_MATE_PI
+from repro.net import DNS_PORT, Host, Network
+from tests.conftest import fresh_daemon
+
+MAIN_CONF = """
+# /etc/connman/main.conf
+[General]
+FallbackNameservers = 192.168.9.1, 8.8.8.8
+EnableOnlineCheck = false
+SingleConnectedTechnology = yes
+
+[Custom]
+VendorThing = 42
+"""
+
+
+class TestMainConf:
+    def test_defaults(self):
+        assert DEFAULT_MAIN_CONF.fallback_nameservers == ()
+        assert DEFAULT_MAIN_CONF.enable_online_check
+
+    def test_parse_values(self):
+        conf = parse_main_conf(MAIN_CONF)
+        assert conf.fallback_nameservers == ("192.168.9.1", "8.8.8.8")
+        assert conf.enable_online_check is False
+        assert conf.single_connected_technology is True
+
+    def test_uninterpreted_settings_kept_raw(self):
+        conf = parse_main_conf(MAIN_CONF)
+        assert conf.raw[("Custom", "VendorThing")] == "42"
+
+    def test_comments_ignored(self):
+        assert parse_main_conf("# only comments\n; and these\n") == DEFAULT_MAIN_CONF
+
+    def test_bad_boolean(self):
+        with pytest.raises(MainConfError, match="boolean"):
+            parse_main_conf("[General]\nEnableOnlineCheck = maybe\n")
+
+    def test_bad_line(self):
+        with pytest.raises(MainConfError, match="key=value"):
+            parse_main_conf("[General]\njust a sentence\n")
+
+    def test_describe(self):
+        assert "FallbackNameservers=192.168.9.1,8.8.8.8" in parse_main_conf(MAIN_CONF).describe()
+
+
+class TestFallbackNameservers:
+    def test_device_uses_fallback_without_dhcp_dns(self):
+        network = Network("lab", subnet_prefix="192.168.9")
+        resolver_host = Host("fallback-dns")
+        network.attach(resolver_host, ip="192.168.9.1")
+        dns = SimpleDnsServer(default_address="3.3.3.3")
+        resolver_host.bind_udp(DNS_PORT, lambda payload, _d: dns.handle_query(payload))
+
+        conf = parse_main_conf(MAIN_CONF)
+        device = IoTDevice("lab-pi", UBUNTU_MATE_PI, profile=WX_ASLR, main_conf=conf)
+        network.attach(device.host)  # static attach: no DHCP, no dns_server
+        event = device.lookup("fallback-test.example")
+        assert event.kind == EventKind.RESPONDED
+
+    def test_no_fallback_means_no_resolution(self):
+        network = Network("lab2", subnet_prefix="192.168.10")
+        device = IoTDevice("lonely-pi", UBUNTU_MATE_PI, profile=WX_ASLR)
+        network.attach(device.host)
+        event = device.lookup("x.example")
+        # No resolver at all: the upstream times out, nothing is recorded.
+        assert event is None or event.kind == EventKind.DROPPED
+        assert device.daemon.alive
+
+
+class TestDebuggerTools:
+    def test_examine_reads_words(self):
+        daemon = fresh_daemon("x86")
+        debugger = Debugger(daemon)
+        text_base = daemon.binary.section(".text").address
+        line = debugger.examine(text_base, count=2)
+        assert line.startswith(f"{text_base:#010x}:")
+        assert line.count("0x") >= 3
+
+    def test_examine_reports_unmapped(self):
+        daemon = fresh_daemon("x86")
+        assert "<unmapped>" in Debugger(daemon).examine(0xDEAD0000, count=1)
+
+    def test_disassemble_symbol(self):
+        daemon = fresh_daemon("arm")
+        listing = Debugger(daemon).disassemble("__restore_ctx")
+        assert "pop {r0, r1, r2, r3, r5, r6, r7, r15}" in listing
+
+    def test_disassemble_address(self):
+        daemon = fresh_daemon("x86")
+        address = daemon.loaded.address_of("__restore_all")
+        listing = Debugger(daemon).disassemble(address, max_instructions=5)
+        assert "pop ebx" in listing and "ret" in listing
+
+
+class TestGadgetCensus:
+    def test_x86_census_contains_unwind(self, x86_binary):
+        census = GadgetFinder(x86_binary).census()
+        assert census.get("pop^4; ret", 0) >= 1
+        assert census.get("indirect jmp", 0) >= 1  # the jmp esp trampoline
+
+    def test_arm_census_dominated_by_pop_pc(self, arm_binary):
+        census = GadgetFinder(arm_binary).census()
+        assert census["pop {...pc}"] > census.get("blx", 0)
+
+    def test_census_totals_match(self, arm_binary):
+        finder = GadgetFinder(arm_binary)
+        assert sum(finder.census().values()) == len(finder.all_gadgets())
+
+    def test_cli_census(self, capsys):
+        from repro.cli import main
+
+        assert main(["gadgets", "--arch", "x86", "--census"]) == 0
+        assert "pop^4; ret" in capsys.readouterr().out

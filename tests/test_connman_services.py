@@ -1,0 +1,252 @@
+"""Connman service manager: discovery, ordering, and the state machine."""
+
+import pytest
+
+from repro.connman import (
+    ConnmanDaemon,
+    EventKind,
+    NetworkService,
+    ServiceManager,
+    ServiceState,
+    ServiceType,
+    strength_from_dbm,
+)
+from repro.defenses import WX_ASLR
+from repro.dns import SimpleDnsServer
+from repro.net import (
+    AccessPoint,
+    DhcpServer,
+    DNS_PORT,
+    Host,
+    Network,
+    RadioEnvironment,
+    WirelessStation,
+)
+
+
+def build_world(ssid="Home", signal=-55):
+    network = Network("home", subnet_prefix="192.168.7")
+    gateway = Host("gw")
+    network.attach(gateway, ip="192.168.7.1")
+    dns = SimpleDnsServer(default_address="8.8.8.8")
+    gateway.bind_udp(DNS_PORT, lambda payload, _d: dns.handle_query(payload))
+    dhcp = DhcpServer("192.168.7", router="192.168.7.1", dns_server="192.168.7.1")
+    radio = RadioEnvironment()
+    ap = AccessPoint(ssid=ssid, network=network, dhcp=dhcp, signal_dbm=signal)
+    radio.add(ap)
+    return radio, ap
+
+
+def make_manager(known=("Home",), online_check=None):
+    station = WirelessStation(Host("dev"), known_ssids=list(known))
+    return ServiceManager(station, online_check=online_check)
+
+
+class TestStrengthScale:
+    def test_mapping(self):
+        assert strength_from_dbm(-100) == 0
+        assert strength_from_dbm(-50) == 100
+        assert strength_from_dbm(-75) == 50
+
+    def test_clamped(self):
+        assert strength_from_dbm(-120) == 0
+        assert strength_from_dbm(-10) == 100
+
+
+class TestDiscovery:
+    def test_scan_creates_wifi_services(self):
+        radio, ap = build_world()
+        manager = make_manager()
+        services = manager.scan_wifi(radio)
+        assert len(services) == 1
+        assert services[0].service_type is ServiceType.WIFI
+        assert services[0].name == "Home"
+        assert services[0].access_point is ap
+
+    def test_rescan_updates_strength_in_place(self):
+        radio, ap = build_world()
+        manager = make_manager()
+        first = manager.scan_wifi(radio)[0]
+        ap.signal_dbm = -40
+        second = manager.scan_wifi(radio)[0]
+        assert second is first
+        assert second.strength == strength_from_dbm(-40)
+
+    def test_vanished_ap_drops_service(self):
+        radio, ap = build_world()
+        manager = make_manager()
+        manager.scan_wifi(radio)
+        radio.remove(ap)
+        assert manager.scan_wifi(radio) == []
+
+    def test_ethernet_outranks_wifi(self):
+        radio, _ap = build_world()
+        manager = make_manager()
+        manager.scan_wifi(radio)
+        manager.add_ethernet()
+        services = manager.services()
+        assert services[0].service_type is ServiceType.ETHERNET
+
+    def test_wifi_ordered_by_strength(self):
+        radio, _ap = build_world()
+        twin_net = Network("twin", subnet_prefix="172.16.9")
+        twin = AccessPoint(ssid="Home", network=twin_net,
+                           dhcp=DhcpServer("172.16.9", "172.16.9.1", "172.16.9.1"),
+                           signal_dbm=-30)
+        radio.add(twin)
+        manager = make_manager()
+        services = manager.scan_wifi(radio)
+        assert services[0].access_point is twin
+
+    def test_service_lookup(self):
+        radio, _ap = build_world()
+        manager = make_manager()
+        sid = manager.scan_wifi(radio)[0].service_id
+        assert manager.service(sid).name == "Home"
+        with pytest.raises(KeyError):
+            manager.service("nope")
+
+
+class TestLifecycle:
+    def test_connect_reaches_ready_with_config(self):
+        radio, _ap = build_world()
+        manager = make_manager()
+        service = manager.scan_wifi(radio)[0]
+        manager.connect(service)
+        assert service.state is ServiceState.READY
+        assert service.ipv4_address.startswith("192.168.7.")
+        assert service.nameservers == ["192.168.7.1"]
+        assert manager.current is service
+
+    def test_online_check_promotes_to_online(self):
+        radio, _ap = build_world()
+        manager = make_manager(online_check=lambda: True)
+        service = manager.scan_wifi(radio)[0]
+        manager.connect(service)
+        assert service.state is ServiceState.ONLINE
+
+    def test_failed_online_check_stays_ready(self):
+        radio, _ap = build_world()
+        manager = make_manager(online_check=lambda: False)
+        service = manager.scan_wifi(radio)[0]
+        manager.connect(service)
+        assert service.state is ServiceState.READY
+
+    def test_dhcp_exhaustion_is_failure(self):
+        radio, ap = build_world()
+        ap.dhcp.pool_size = 0
+        manager = make_manager()
+        service = manager.scan_wifi(radio)[0]
+        manager.connect(service)
+        assert service.state is ServiceState.FAILURE
+        assert "DHCP" in service.error or "exhausted" in service.error
+
+    def test_connecting_other_service_idles_previous(self):
+        radio, _ap = build_world()
+        twin_net = Network("twin", subnet_prefix="172.16.9")
+        twin = AccessPoint(ssid="Home", network=twin_net,
+                           dhcp=DhcpServer("172.16.9", "172.16.9.1", "172.16.9.1"),
+                           signal_dbm=-80)
+        radio.add(twin)
+        manager = make_manager()
+        strong, weak = manager.scan_wifi(radio)
+        manager.connect(strong)
+        manager.connect(weak)
+        assert strong.state is ServiceState.IDLE
+        assert manager.current is weak
+
+    def test_ethernet_connect_not_modeled(self):
+        manager = make_manager()
+        ethernet = manager.add_ethernet()
+        with pytest.raises(ValueError):
+            manager.connect(ethernet)
+
+    def test_disconnect(self):
+        radio, _ap = build_world()
+        manager = make_manager()
+        service = manager.scan_wifi(radio)[0]
+        manager.connect(service)
+        manager.disconnect()
+        assert service.state is ServiceState.IDLE
+        assert manager.current is None
+
+
+class TestAutoconnect:
+    def test_joins_known_ssid(self):
+        radio, ap = build_world()
+        manager = make_manager()
+        manager.scan_wifi(radio)
+        service = manager.autoconnect()
+        assert service is not None and service.connected
+        assert service.access_point is ap
+
+    def test_ignores_unknown_ssids(self):
+        radio, _ap = build_world(ssid="StrangerDanger")
+        manager = make_manager(known=("Home",))
+        manager.scan_wifi(radio)
+        assert manager.autoconnect() is None
+
+    def test_idempotent_when_already_best(self):
+        radio, _ap = build_world()
+        manager = make_manager()
+        manager.scan_wifi(radio)
+        assert manager.autoconnect() is not None
+        assert manager.autoconnect() is None
+
+    def test_roams_to_stronger_twin(self):
+        radio, _ap = build_world()
+        manager = make_manager()
+        manager.scan_wifi(radio)
+        manager.autoconnect()
+        twin_net = Network("twin", subnet_prefix="172.16.9")
+        twin = AccessPoint(ssid="Home", network=twin_net,
+                           dhcp=DhcpServer("172.16.9", "172.16.9.1", "172.16.9.1"),
+                           signal_dbm=-25)
+        radio.add(twin)
+        manager.scan_wifi(radio)
+        service = manager.autoconnect()
+        assert service is not None
+        assert service.access_point is twin
+        assert service.nameservers == ["172.16.9.1"]
+
+    def test_describe_marks_current(self):
+        radio, _ap = build_world()
+        manager = make_manager()
+        manager.scan_wifi(radio)
+        manager.autoconnect()
+        assert "*" in manager.describe()
+
+
+class TestOnlineCheckAttackSurface:
+    def test_online_check_through_rogue_dns_is_the_first_shot(self):
+        """Connman's own online check after joining the evil twin walks
+        straight into the vulnerable parser."""
+        from repro.core import AttackScenario, attacker_knowledge
+        from repro.exploit import builder_for, malicious_server_for
+        from repro.net import WifiPineapple
+        from repro.dns import make_query
+
+        radio, _ap = build_world()
+        daemon = ConnmanDaemon(arch="arm", profile=WX_ASLR)
+        station = WirelessStation(Host("victim"), known_ssids=["Home"])
+
+        def online_check() -> bool:
+            query = make_query(0x0C, "connectivity-check.example")
+            response = daemon.handle_client_query(
+                query.encode(), station.host.dns_transport()
+            )
+            return response is not None
+
+        manager = ServiceManager(station, online_check=online_check)
+        knowledge = attacker_knowledge(AttackScenario("arm", "full", WX_ASLR))
+        exploit = builder_for("arm", WX_ASLR).build(knowledge)
+        pineapple = WifiPineapple(malicious_server_for(exploit))
+        pineapple.impersonate("Home", radio, signal_dbm=-20)
+
+        manager.scan_wifi(radio)
+        service = manager.autoconnect()
+        # The join succeeded at the network layer...
+        assert service.ipv4_address is not None
+        # ...but the online check already handed the daemon the payload.
+        assert daemon.compromised
+        assert daemon.last_event.kind is EventKind.COMPROMISED

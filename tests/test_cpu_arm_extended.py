@@ -1,0 +1,96 @@
+"""Extended ARM subset: logic ops and byte loads/stores."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.arm import asm
+from repro.cpu.arm.disasm import decode
+
+from tests.test_cpu_arm import run_code
+
+
+class TestDecode:
+    def test_logic_registers(self):
+        assert decode(asm.and_reg("r0", "r1", "r2"), 0).mnemonic == "and"
+        assert decode(asm.orr_reg("r0", "r1", "r2"), 0).mnemonic == "orr"
+        assert decode(asm.eor_reg("r0", "r1", "r2"), 0).mnemonic == "eor"
+
+    def test_logic_immediates(self):
+        insn = decode(asm.and_imm("r3", "r3", 0xFF), 0)
+        assert insn.operands == ("r3", "r3", 0xFF)
+
+    def test_byte_loads(self):
+        insn = decode(asm.ldrb("r0", "r1", 4), 0)
+        assert insn.mnemonic == "ldrb" and insn.operands == ("r0", "r1", 4)
+        insn = decode(asm.strb("r2", "sp", -1), 0)
+        assert insn.mnemonic == "strb" and insn.operands == ("r2", "r13", -1)
+
+
+ROUNDTRIP = [
+    lambda reg: asm.and_reg(reg, reg, "r1"),
+    lambda reg: asm.orr_reg(reg, "r2", reg),
+    lambda reg: asm.eor_imm(reg, reg, 0x3C),
+    lambda reg: asm.ldrb(reg, "sp", 8),
+    lambda reg: asm.strb(reg, "sp", 12),
+]
+
+
+@settings(max_examples=50)
+@given(builder=st.sampled_from(ROUNDTRIP),
+       reg=st.sampled_from([f"r{i}" for i in range(8)]))
+def test_property_extended_roundtrip(builder, reg):
+    code = builder(reg)
+    insn = decode(code, 0x1000)
+    assert insn.raw == code and not insn.is_bad
+
+
+class TestExecute:
+    def test_logic_semantics(self, scratch_space):
+        code = (
+            asm.mov_imm("r0", 0xF0)
+            + asm.mov_imm("r1", 0x3C)
+            + asm.and_reg("r2", "r0", "r1")   # 0x30
+            + asm.orr_reg("r3", "r0", "r1")   # 0xFC
+            + asm.eor_reg("r4", "r0", "r1")   # 0xCC
+            + b"\xff\xff\xff\xff"
+        )
+        process, _ = run_code(scratch_space, code)
+        assert process.registers["r2"] == 0x30
+        assert process.registers["r3"] == 0xFC
+        assert process.registers["r4"] == 0xCC
+
+    def test_byte_store_load(self, scratch_space):
+        code = (
+            asm.mov_imm("r0", 0xAB)
+            + asm.strb("r0", "sp", -4)
+            + asm.ldrb("r1", "sp", -4)
+            + b"\xff\xff\xff\xff"
+        )
+        process, _ = run_code(scratch_space, code)
+        assert process.registers["r1"] == 0xAB
+
+    def test_strb_truncates_to_byte(self, scratch_space):
+        code = (
+            asm.mov_imm("r0", 0xFF000000)
+            + asm.orr_imm("r0", "r0", 0x12)
+            + asm.strb("r0", "sp", -8)
+            + asm.ldrb("r1", "sp", -8)
+            + b"\xff\xff\xff\xff"
+        )
+        process, _ = run_code(scratch_space, code)
+        assert process.registers["r1"] == 0x12
+
+    def test_byte_store_does_not_clobber_neighbours(self, scratch_space):
+        code = (
+            asm.mov_imm("r0", 0x99)
+            + asm.strb("r0", "sp", -3)   # middle byte of the word at sp-4
+            + asm.ldr("r1", "sp", -4)
+            + b"\xff\xff\xff\xff"
+        )
+
+        def setup(process):
+            process.memory.write_u32(process.sp - 4, 0x44332211)
+
+        process, _ = run_code(scratch_space, code, setup=setup)
+        # Little-endian: sp-3 is byte 1 of the word at sp-4.
+        assert process.registers["r1"] == 0x44339911

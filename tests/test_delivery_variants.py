@@ -1,0 +1,84 @@
+"""Delivery variants: AAAA-typed answers and the stack guard page."""
+
+import pytest
+
+from repro.connman import EventKind
+from repro.cpu.x86 import asm as x86
+from repro.core import AttackScenario, attacker_knowledge
+from repro.defenses import NONE, WX_ASLR
+from repro.dns import RecordType
+from repro.exploit import X86CodeInjection, X86RopMemcpyExeclp, deliver
+from repro.mem import AccessViolation
+from tests.conftest import fresh_daemon
+
+
+class TestAaaaDelivery:
+    """§II: 'a crafted DNS response ... of type A, which is a 32-bit IPv4
+    lookup response, or type AAAA, a 128-bit IPv6 lookup response'."""
+
+    def test_rop_works_over_aaaa(self, knowledge_x86_blind):
+        exploit = X86RopMemcpyExeclp().build(knowledge_x86_blind)
+        victim = fresh_daemon("x86", profile=WX_ASLR)
+        report = deliver(exploit, victim, rtype=RecordType.AAAA)
+        assert report.got_root_shell
+
+    def test_code_injection_works_over_aaaa(self, knowledge_arm_plain):
+        from repro.exploit import ArmCodeInjection
+
+        exploit = ArmCodeInjection().build(knowledge_arm_plain)
+        victim = fresh_daemon("arm", profile=NONE)
+        report = deliver(exploit, victim, rtype=RecordType.AAAA)
+        assert report.got_root_shell
+
+    def test_benign_aaaa_still_cached(self):
+        from repro.dns import ResourceRecord, make_query, make_response
+
+        daemon = fresh_daemon("x86")
+        query = make_query(5, "v6.example")
+        reply = make_response(query, (ResourceRecord.aaaa("v6.example", "2001:db8::9"),))
+        event = daemon.handle_upstream_reply(reply.encode(), expected_id=5)
+        assert event.kind == EventKind.RESPONDED
+
+    def test_unknown_rtype_parses_but_does_not_cache(self):
+        from repro.dns import ResourceRecord, RecordClass, make_query, make_response
+
+        daemon = fresh_daemon("x86")
+        query = make_query(6, "txtish.example")
+        txt = ResourceRecord.txt("txtish.example", b"hello")
+        reply = make_response(query, (txt,))
+        event = daemon.handle_upstream_reply(reply.encode(), expected_id=6)
+        assert event.kind == EventKind.RESPONDED
+        assert event.cached == []
+
+
+class TestStackGuardPage:
+    def test_guard_mapped_below_stack(self):
+        daemon = fresh_daemon("x86")
+        maps = daemon.loaded.process.memory.maps()
+        assert "stack-guard" in maps
+        guard = daemon.loaded.process.memory.segment("stack-guard")
+        assert guard.end == daemon.loaded.layout.stack_base
+
+    def test_descending_runaway_faults_on_guard(self):
+        """A wild push loop dies at the guard instead of corrupting
+        whatever lies below the stack."""
+        daemon = fresh_daemon("x86")
+        process = daemon.loaded.process
+        process.sp = daemon.loaded.layout.stack_base + 8
+        with pytest.raises(AccessViolation):
+            for _ in range(8):
+                process.push_u32(0x41414141)
+
+    def test_guard_not_readable(self):
+        daemon = fresh_daemon("arm")
+        guard = daemon.loaded.process.memory.segment("stack-guard")
+        with pytest.raises(AccessViolation):
+            daemon.loaded.process.memory.read(guard.base, 1)
+
+    def test_guard_not_executable_even_without_wx(self):
+        daemon = fresh_daemon("x86", profile=NONE)  # stack is RWX here
+        guard = daemon.loaded.process.memory.segment("stack-guard")
+        from repro.mem import WxViolation
+
+        with pytest.raises(WxViolation):
+            daemon.loaded.process.memory.fetch(guard.base, 1)

@@ -1,0 +1,88 @@
+"""Differential testing: the victim's get_name vs. the host reference model.
+
+``simulate_expansion`` (used by the planner and the payload tests) and the
+emulated-daemon ``_get_name`` (the actual vulnerable routine) are
+independent implementations of Listing 1.  For any label stream they must
+produce byte-identical buffer images — this is the oracle that keeps the
+whole exploit pipeline honest.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.connman import EventKind
+from repro.dns import build_raw_response, make_query
+from repro.exploit import simulate_expansion
+from tests.conftest import fresh_daemon
+
+
+def guest_expansion(blob: bytes, arch: str = "x86") -> bytes:
+    """Run the real (emulated-memory) parser and read the buffer back.
+
+    Uses a benign-sized stream so the daemon survives and the full image
+    is still in place.
+    """
+    daemon = fresh_daemon(arch, seed=1234)
+    place = daemon.proxy.placement()
+    query = make_query(0x77, "diff.example")
+    reply = build_raw_response(query, blob)
+    event = daemon.handle_upstream_reply(reply, expected_id=0x77)
+    assert event.kind == EventKind.RESPONDED, event.describe()
+    expected_length = len(simulate_expansion(blob))
+    return bytes(daemon.loaded.process.memory.read(place.name_address, expected_length))
+
+
+LABEL = st.integers(min_value=1, max_value=63).flatmap(
+    lambda n: st.binary(min_size=n, max_size=n)
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(labels=st.lists(LABEL, min_size=1, max_size=12))
+def test_property_guest_matches_reference(labels):
+    """Both implementations of the vulnerable copy agree byte for byte."""
+    blob = b"".join(bytes([len(label)]) + label for label in labels) + b"\x00"
+    reference = simulate_expansion(blob)
+    if len(reference) + 1 > 1000:  # stay inside the buffer: benign case
+        return
+    assert guest_expansion(blob) == reference
+
+
+@settings(max_examples=30, deadline=None)
+@given(labels=st.lists(LABEL, min_size=1, max_size=8),
+       arch=st.sampled_from(["x86", "arm"]))
+def test_property_agreement_on_both_arches(labels, arch):
+    blob = b"".join(bytes([len(label)]) + label for label in labels) + b"\x00"
+    reference = simulate_expansion(blob)
+    if len(reference) + 1 > 1000:
+        return
+    assert guest_expansion(blob, arch) == reference
+
+
+def test_overcopy_byte_is_transient():
+    """Listing 1 copies label_len+1 bytes; the trailing byte is overwritten
+    by the next label's length byte, so the net image matches the clean
+    interleave — verify explicitly on a crafted two-label stream."""
+    blob = b"\x02ab\x03cde\x00"
+    assert guest_expansion(blob) == b"\x02ab\x03cde"
+
+
+def test_compression_pointer_expansion_matches_inline():
+    """A pointered name and its flat equivalent write the same image."""
+    daemon = fresh_daemon("x86", seed=77)
+    place = daemon.proxy.placement()
+    query = make_query(0x99, "ptr.example")
+    # Packet layout: header(12) + question + answer-name with a pointer
+    # back into the question's name bytes.
+    from repro.dns import encode_pointer
+
+    question_name_offset = 12
+    blob = b"\x03abc" + encode_pointer(question_name_offset)
+    reply = build_raw_response(query, blob)
+    event = daemon.handle_upstream_reply(reply, expected_id=0x99)
+    assert event.kind == EventKind.RESPONDED
+    # The question name is "ptr.example": expansion = "abc" + that name.
+    image = daemon.loaded.process.memory.read(place.name_address, 17)
+    assert image == b"\x03abc\x03ptr\x07example\x00"[:17]

@@ -1,0 +1,136 @@
+"""Benign DNS servers, the stub resolver, and the malicious server."""
+
+import pytest
+
+from repro.dns import (
+    DnsError,
+    Message,
+    MaliciousDnsServer,
+    Rcode,
+    RecordType,
+    SimpleDnsServer,
+    StubResolver,
+    build_raw_response,
+    fixed_blob_server,
+    make_query,
+)
+
+
+class TestSimpleDnsServer:
+    def make(self):
+        return SimpleDnsServer(zone={"www.example.com": "93.184.216.34"},
+                               zone6={"www.example.com": "2606:2800::1"})
+
+    def test_answers_known_name(self):
+        server = self.make()
+        response = Message.decode(server.handle_query(make_query(1, "www.example.com").encode()))
+        assert response.answers[0].address == "93.184.216.34"
+
+    def test_case_insensitive_lookup(self):
+        server = self.make()
+        response = Message.decode(server.handle_query(make_query(1, "WWW.Example.COM").encode()))
+        assert response.answers
+
+    def test_aaaa_lookup(self):
+        server = self.make()
+        query = make_query(2, "www.example.com", RecordType.AAAA)
+        response = Message.decode(server.handle_query(query.encode()))
+        assert response.answers[0].rtype == RecordType.AAAA
+
+    def test_unknown_name_nxdomain(self):
+        server = self.make()
+        response = Message.decode(server.handle_query(make_query(3, "nope.example").encode()))
+        assert response.flags.rcode == Rcode.NXDOMAIN
+        assert not response.answers
+
+    def test_default_address_wildcard(self):
+        server = SimpleDnsServer(default_address="10.0.0.1")
+        response = Message.decode(server.handle_query(make_query(4, "anything.example").encode()))
+        assert response.answers[0].address == "10.0.0.1"
+
+    def test_garbage_ignored(self):
+        assert self.make().handle_query(b"junk") is None
+
+    def test_response_packets_ignored(self):
+        server = self.make()
+        query = make_query(5, "www.example.com")
+        response_bytes = server.handle_query(query.encode())
+        assert server.handle_query(response_bytes) is None
+
+    def test_query_log(self):
+        server = self.make()
+        server.handle_query(make_query(6, "www.example.com").encode())
+        server.handle_query(make_query(7, "missing.example").encode())
+        assert [entry.answered for entry in server.log] == [True, False]
+
+    def test_add_record(self):
+        server = self.make()
+        server.add_record("new.example", "1.1.1.1")
+        response = Message.decode(server.handle_query(make_query(8, "new.example").encode()))
+        assert response.answers[0].address == "1.1.1.1"
+
+
+class TestStubResolver:
+    def test_resolves_through_transport(self):
+        server = SimpleDnsServer(zone={"a.example": "1.2.3.4"})
+        result = StubResolver().resolve(server.handle_query, "a.example")
+        assert result.ok and result.address == "1.2.3.4"
+
+    def test_nxdomain_result(self):
+        server = SimpleDnsServer()
+        result = StubResolver().resolve(server.handle_query, "b.example")
+        assert not result.ok and result.rcode == Rcode.NXDOMAIN
+
+    def test_timeout_result(self):
+        result = StubResolver().resolve(lambda _q: None, "c.example")
+        assert not result.ok and result.rcode == Rcode.SERVFAIL
+
+    def test_mismatched_id_rejected(self):
+        def evil_transport(query_bytes):
+            query = Message.decode(query_bytes)
+            spoofed = make_query(query.id ^ 0xFFFF, query.questions[0].name)
+            return build_raw_response(spoofed, b"\x01a\x00")
+
+        with pytest.raises(DnsError):
+            StubResolver().resolve(evil_transport, "d.example")
+
+    def test_ids_vary(self):
+        resolver = StubResolver()
+        ids = {resolver.build_query("x.example").id for _ in range(16)}
+        assert len(ids) > 8
+
+
+class TestMaliciousServer:
+    def test_raw_response_parses_as_dns(self):
+        query = make_query(0x77, "victim.example")
+        packet = build_raw_response(query, b"\x03abc\x00", address="6.6.6.6")
+        response = Message.decode(packet)
+        assert response.id == 0x77
+        assert response.is_response
+        assert response.answers[0].address == "6.6.6.6"
+
+    def test_oversized_blob_survives_header_checks(self):
+        query = make_query(0x78, "victim.example")
+        blob = b"\x3f" + b"A" * 63 + b"\x3f" + b"B" * 63 + b"\x00"
+        packet = build_raw_response(query, blob)
+        # The benign codec chokes on the 2-label monster only when the
+        # total name exceeds limits — but the header fields stay sane.
+        assert packet[:2] == (0x78).to_bytes(2, "big")
+
+    def test_serves_every_query(self):
+        server = fixed_blob_server(b"\x01a\x00")
+        for index, name in enumerate(("a.example", "b.example")):
+            reply = server.handle_query(make_query(index, name).encode())
+            assert reply is not None
+        assert server.served == ["a.example", "b.example"]
+
+    def test_per_query_payload_factory(self):
+        def factory(query):
+            return b"\x01" + query.questions[0].name[:1].encode() + b"\x00"
+
+        server = MaliciousDnsServer(name_blob_factory=factory)
+        reply = server.handle_query(make_query(1, "zebra.example").encode())
+        assert b"\x01z\x00" in reply
+
+    def test_ignores_garbage(self):
+        assert fixed_blob_server(b"\x00").handle_query(b"\xff" * 4) is None

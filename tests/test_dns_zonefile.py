@@ -1,0 +1,144 @@
+"""Zone-file parsing and CNAME-chasing resolution."""
+
+import pytest
+
+from repro.dns import (
+    Message,
+    RecordType,
+    SimpleDnsServer,
+    StubResolver,
+    ZoneFileError,
+    make_query,
+    parse_zone,
+)
+
+ZONE_TEXT = """
+; example.com lab zone
+$ORIGIN example.com.
+$TTL 600
+@            IN A     93.184.216.34
+www          IN CNAME @
+api      120 IN A     93.184.216.35
+             IN AAAA  2606:2800::35
+ipv6         IN AAAA  2606:2800::1
+deep         IN CNAME www
+note         IN TXT   "lab zone"
+absolute.other.net.  IN A 198.51.100.7
+"""
+
+
+class TestParse:
+    def test_record_count(self):
+        zone = parse_zone(ZONE_TEXT)
+        assert len(zone.records) == 8
+
+    def test_origin_applied(self):
+        zone = parse_zone(ZONE_TEXT)
+        names = {record.name for record in zone.records}
+        assert "api.example.com" in names
+        assert "absolute.other.net" in names
+
+    def test_at_sign_is_origin(self):
+        zone = parse_zone(ZONE_TEXT)
+        apex = [r for r in zone.records if r.rtype == RecordType.A][0]
+        assert apex.name == "example.com"
+
+    def test_default_ttl_and_override(self):
+        zone = parse_zone(ZONE_TEXT)
+        api = next(r for r in zone.records if r.name == "api.example.com"
+                   and r.rtype == RecordType.A)
+        assert api.ttl == 120
+        apex = next(r for r in zone.records if r.name == "example.com")
+        assert apex.ttl == 600
+
+    def test_indented_continuation_reuses_owner(self):
+        zone = parse_zone(ZONE_TEXT)
+        aaaa = [r for r in zone.records if r.rtype == RecordType.AAAA]
+        assert {r.name for r in aaaa} == {"api.example.com", "ipv6.example.com"}
+
+    def test_comments_and_blanks_ignored(self):
+        assert parse_zone("; nothing\n\n").records == []
+
+    def test_by_type(self):
+        zone = parse_zone(ZONE_TEXT)
+        assert len(zone.by_type(RecordType.CNAME)) == 2
+
+    def test_bad_directive(self):
+        with pytest.raises(ZoneFileError, match="ORIGIN"):
+            parse_zone("$ORIGIN\n")
+
+    def test_bad_ttl(self):
+        with pytest.raises(ZoneFileError, match="TTL"):
+            parse_zone("$TTL soon\n")
+
+    def test_unsupported_type(self):
+        with pytest.raises(ZoneFileError, match="unsupported"):
+            parse_zone("x.example. IN MX 10 mail.example.\n")
+
+    def test_bad_address(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone("x.example. IN A not-an-ip\n")
+
+    def test_indent_without_owner(self):
+        with pytest.raises(ZoneFileError, match="owner"):
+            parse_zone("   IN A 1.2.3.4\n")
+
+
+class TestCnameResolution:
+    def make_server(self):
+        return SimpleDnsServer.from_zone(parse_zone(ZONE_TEXT))
+
+    def test_direct_a(self):
+        server = self.make_server()
+        result = StubResolver().resolve(server.handle_query, "api.example.com")
+        assert result.address == "93.184.216.35"
+
+    def test_cname_chased_to_a(self):
+        server = self.make_server()
+        result = StubResolver().resolve(server.handle_query, "www.example.com")
+        assert result.address == "93.184.216.34"
+
+    def test_chain_of_two_cnames(self):
+        server = self.make_server()
+        result = StubResolver().resolve(server.handle_query, "deep.example.com")
+        assert result.address == "93.184.216.34"
+
+    def test_answer_contains_full_chain(self):
+        server = self.make_server()
+        reply = Message.decode(server.handle_query(make_query(1, "deep.example.com").encode()))
+        types = [record.rtype for record in reply.answers]
+        assert types == [RecordType.CNAME, RecordType.CNAME, RecordType.A]
+
+    def test_aaaa_through_zone(self):
+        server = self.make_server()
+        result = StubResolver().resolve(server.handle_query, "ipv6.example.com",
+                                        RecordType.AAAA)
+        assert result.address.startswith("2606:2800")
+
+    def test_cname_loop_unresolvable(self):
+        server = SimpleDnsServer()
+        server.add_cname("a.example", "b.example")
+        server.add_cname("b.example", "a.example")
+        result = StubResolver().resolve(server.handle_query, "a.example")
+        assert not result.ok
+
+    def test_dangling_cname_nxdomain(self):
+        server = SimpleDnsServer()
+        server.add_cname("alias.example", "gone.example")
+        result = StubResolver().resolve(server.handle_query, "alias.example")
+        assert not result.ok
+
+
+class TestConnmanThroughZone:
+    def test_proxy_caches_cname_target_address(self):
+        """Full stack: client -> connman proxy -> zone-backed resolver."""
+        from tests.conftest import fresh_daemon
+
+        daemon = fresh_daemon("x86")
+        server = SimpleDnsServer.from_zone(parse_zone(ZONE_TEXT))
+        result = StubResolver().resolve(
+            lambda packet: daemon.handle_client_query(packet, server.handle_query),
+            "www.example.com",
+        )
+        assert result.address == "93.184.216.34"
+        assert daemon.alive

@@ -1,0 +1,141 @@
+"""Edge cases across layers that the main suites don't reach."""
+
+import pytest
+
+from repro.connman import ConnmanDaemon, EventKind
+from repro.core import AttackScenario, attacker_knowledge
+from repro.defenses import NONE, WX_ASLR
+from repro.dns import build_raw_response, encode_pointer, make_query
+from repro.exploit import builder_for, deliver, fill, plan_labels
+from tests.conftest import fresh_daemon
+
+
+class TestCrossArchDelivery:
+    """Payloads built for one ISA delivered to the other: crash, not shell."""
+
+    def test_x86_rop_vs_arm_daemon(self, knowledge_x86_blind):
+        from repro.exploit import X86RopMemcpyExeclp
+
+        exploit = X86RopMemcpyExeclp().build(knowledge_x86_blind)
+        victim = fresh_daemon("arm", profile=WX_ASLR)
+        report = deliver(exploit, victim)
+        assert report.event.kind == EventKind.CRASHED
+        assert not report.got_root_shell
+
+    def test_arm_rop_vs_x86_daemon(self, knowledge_arm_blind):
+        from repro.exploit import ArmRopMemcpyExeclp
+
+        exploit = ArmRopMemcpyExeclp().build(knowledge_arm_blind)
+        victim = fresh_daemon("x86", profile=WX_ASLR)
+        report = deliver(exploit, victim)
+        assert report.event.kind == EventKind.CRASHED
+
+
+class TestMultiRecordReplies:
+    def test_multiple_answers_all_parsed(self):
+        from repro.dns import Message, ResourceRecord, make_response
+
+        daemon = fresh_daemon("x86")
+        query = make_query(3, "multi.example")
+        answers = tuple(
+            ResourceRecord.a(f"multi-{index}.example", f"10.1.1.{index}")
+            for index in range(3)
+        )
+        reply = make_response(query, answers)
+        event = daemon.handle_upstream_reply(reply.encode(), expected_id=3)
+        assert event.kind == EventKind.RESPONDED
+        assert len(event.cached) == 3
+
+    def test_too_many_answers_dropped(self):
+        import struct
+
+        daemon = fresh_daemon("x86")
+        # Forge a header claiming 200 answers.
+        header = struct.pack(">HHHHHH", 9, 0x8180, 0, 200, 0, 0)
+        event = daemon.handle_upstream_reply(header + b"\x00" * 32, expected_id=9)
+        assert event.kind == EventKind.DROPPED
+        assert "unreasonable" in event.detail
+
+    def test_second_answer_can_carry_the_overflow(self):
+        """A benign first answer doesn't save the daemon from a malicious
+        second one — get_name runs per record."""
+        import struct
+
+        from repro.core import naive_overflow_blob
+        from repro.dns import encode_name, ip4_to_bytes
+
+        daemon = fresh_daemon("x86")
+        query = make_query(0x21, "two.example")
+        benign_answer = (
+            encode_name("two.example")
+            + struct.pack(">HHIH", 1, 1, 60, 4)
+            + ip4_to_bytes("1.1.1.1")
+        )
+        evil_answer = (
+            naive_overflow_blob()
+            + struct.pack(">HHIH", 1, 1, 60, 4)
+            + ip4_to_bytes("6.6.6.6")
+        )
+        header = struct.pack(">HHHHHH", 0x21, 0x8180, 1, 2, 0, 0)
+        packet = header + query.questions[0].encode() + benign_answer + evil_answer
+        event = daemon.handle_upstream_reply(packet, expected_id=0x21)
+        assert event.kind == EventKind.CRASHED
+
+
+class TestPointerEdgeCases:
+    def test_forward_pointer_accepted(self):
+        daemon = fresh_daemon("x86")
+        query = make_query(5, "fwd.example")
+        # Name: pointer to offset 12 (the question name itself).
+        blob = encode_pointer(12)
+        reply = build_raw_response(query, blob)
+        event = daemon.handle_upstream_reply(reply, expected_id=5)
+        assert event.kind == EventKind.RESPONDED
+
+    def test_self_pointer_loop_dropped_or_crashed_cleanly(self):
+        import struct
+
+        daemon = fresh_daemon("x86")
+        # No question; the answer name at offset 12 points at itself.
+        header = struct.pack(">HHHHHH", 7, 0x8180, 0, 1, 0, 0)
+        answer = encode_pointer(12) + struct.pack(">HHIH", 1, 1, 60, 4) + b"\x01\x02\x03\x04"
+        event = daemon.handle_upstream_reply(header + answer, expected_id=7)
+        # The jump budget catches it: dumped as malformed, daemon intact.
+        assert event.kind == EventKind.DROPPED
+        assert daemon.alive
+
+    def test_pointer_past_packet_dropped(self):
+        daemon = fresh_daemon("x86")
+        query = make_query(8, "oob.example")
+        blob = encode_pointer(0x3FF)
+        reply = build_raw_response(query, blob)
+        event = daemon.handle_upstream_reply(reply, expected_id=8)
+        assert event.kind == EventKind.DROPPED
+
+
+class TestHexdump:
+    def test_boundaries_marked(self):
+        plan = plan_labels([fill(130)])
+        dump = plan.hexdump()
+        assert dump.count("*") == len(plan.boundaries)
+        assert "000000" in dump and "000080" in dump
+
+    def test_printable_column(self):
+        from repro.exploit import fixed
+
+        plan = plan_labels([fill(4), fixed(b"SHELL")])
+        assert "SHELL" in plan.hexdump()
+
+
+class TestDaemonRepeatedCompromise:
+    def test_compromise_restart_compromise(self):
+        """A respawned daemon is exploitable again (same non-PIE image)."""
+        scenario = AttackScenario("arm", "none", NONE)
+        exploit = builder_for("arm", NONE).build(attacker_knowledge(scenario))
+        victim = fresh_daemon("arm", profile=NONE)
+        assert deliver(exploit, victim).got_root_shell
+        victim.restart()
+        assert victim.alive
+        assert deliver(exploit, victim).got_root_shell
+        assert victim.boots == 2
+        assert len(victim.events) == 2

@@ -1,0 +1,61 @@
+"""E15 entropy sweep and the parameterizable ASLR span."""
+
+import random
+
+import pytest
+
+from repro.connman import ConnmanDaemon
+from repro.core import e15_entropy_sweep
+from repro.core.sweeps import EntropyPoint, sweep_bruteforce_entropy
+from repro.defenses import WX_ASLR
+from repro.exploit import AslrBruteForcer
+
+
+class TestParameterizedEntropy:
+    def test_profile_carries_entropy(self):
+        profile = WX_ASLR.with_(aslr_entropy_pages=32)
+        assert profile.aslr_entropy_pages == 32
+        assert WX_ASLR.aslr_entropy_pages == 256  # default unchanged
+
+    def test_daemon_layout_respects_span(self):
+        profile = WX_ASLR.with_(aslr_entropy_pages=4)
+        bases = set()
+        daemon = ConnmanDaemon(arch="x86", profile=profile, rng=random.Random(1))
+        for _ in range(32):
+            daemon.restart()
+            bases.add(daemon.loaded.layout.libc_base)
+        # At most 4 distinct slides possible.
+        assert len(bases) <= 4
+
+    def test_bruteforcer_uses_victim_span(self):
+        victim = ConnmanDaemon(
+            arch="x86", profile=WX_ASLR.with_(aslr_entropy_pages=8),
+            rng=random.Random(5),
+        )
+        forcer = AslrBruteForcer(victim, max_attempts=256, rng=random.Random(6))
+        assert forcer.entropy_pages == 8
+        result = forcer.run()
+        # Tiny span: the attack lands almost immediately.
+        assert result.succeeded
+        assert result.attempts <= 64
+
+
+class TestSweep:
+    def test_points_cover_series(self):
+        points = sweep_bruteforce_entropy(entropy_series=(8, 32), runs_per_point=2)
+        assert [p.entropy_pages for p in points] == [8, 32]
+        assert all(len(p.attempts) == 2 for p in points)
+
+    def test_point_statistics(self):
+        point = EntropyPoint(entropy_pages=64, attempts=[10, 50, 90])
+        assert point.median_attempts == 50
+        assert point.plausible
+
+    def test_implausibly_slow_point_flagged(self):
+        point = EntropyPoint(entropy_pages=16, attempts=[4000, 5000, 6000])
+        assert not point.plausible
+
+    def test_e15_experiment(self):
+        result = e15_entropy_sweep(runs_per_point=3)
+        assert result.all_pass
+        assert result.rows[-1][0] == "(scaling)"

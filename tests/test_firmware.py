@@ -1,0 +1,123 @@
+"""Firmware catalog, CVE audit, and IoT device behaviour."""
+
+import pytest
+
+from repro.connman import EventKind
+from repro.defenses import NONE, WX_ASLR
+from repro.dns import SimpleDnsServer
+from repro.firmware import (
+    ALL_CVES,
+    CONNMAN_CVE,
+    FIRMWARE_CATALOG,
+    IoTDevice,
+    OPENELEC,
+    TIZEN_3,
+    TIZEN_4,
+    UBUNTU_MATE_PI,
+    YOCTO,
+    audit_firmware,
+    audit_fleet,
+    catalog_by_name,
+    raspberry_pi_3b,
+)
+from repro.net import AccessPoint, DhcpServer, DNS_PORT, Host, Network, RadioEnvironment
+
+
+class TestCatalog:
+    def test_paper_survey_versions(self):
+        assert str(YOCTO.connman_version) == "1.31"
+        assert str(OPENELEC.connman_version) == "1.34"
+        assert TIZEN_3.ships_vulnerable_connman
+        assert not TIZEN_4.ships_vulnerable_connman
+
+    def test_pi_image_is_arm(self):
+        assert UBUNTU_MATE_PI.arch == "arm"
+
+    def test_catalog_lookup(self):
+        assert catalog_by_name("openelec-8") is OPENELEC
+        with pytest.raises(KeyError):
+            catalog_by_name("freebsd")
+
+    def test_describe_mentions_status(self):
+        assert "VULNERABLE" in OPENELEC.describe()
+        assert "patched" in TIZEN_4.describe()
+
+
+class TestCveDb:
+    def test_target_cve_identity(self):
+        assert CONNMAN_CVE.cve_id == "CVE-2017-12865"
+        assert CONNMAN_CVE.protocol == "dns"
+
+    def test_section_v_cves_present(self):
+        ids = {cve.cve_id for cve in ALL_CVES}
+        for expected in ("CVE-2017-14493", "CVE-2018-9445", "CVE-2018-19278",
+                         "CVE-2019-8985", "CVE-2019-9125", "CVE-2018-6692",
+                         "CVE-2018-20410"):
+            assert expected in ids
+
+    def test_audit_flags_vulnerable_image(self):
+        findings = audit_firmware(OPENELEC)
+        assert len(findings) == 1
+        assert findings[0].cve is CONNMAN_CVE
+        assert "1.34" in findings[0].reason
+
+    def test_audit_passes_patched_image(self):
+        assert audit_firmware(TIZEN_4) == []
+
+    def test_fleet_audit_counts(self):
+        findings = audit_fleet(FIRMWARE_CATALOG)
+        assert len(findings) == 5  # everything but tizen-4
+
+
+class TestIoTDevice:
+    def radio_with_home(self, ssid="Home"):
+        network = Network("home", subnet_prefix="192.168.0")
+        gateway = Host("gw")
+        network.attach(gateway, ip="192.168.0.1")
+        dns = SimpleDnsServer(default_address="8.8.8.8")
+        gateway.bind_udp(DNS_PORT, lambda payload, _d: dns.handle_query(payload))
+        dhcp = DhcpServer("192.168.0", router="192.168.0.1", dns_server="192.168.0.1")
+        radio = RadioEnvironment()
+        radio.add(AccessPoint(ssid=ssid, network=network, dhcp=dhcp, signal_dbm=-50))
+        return radio
+
+    def test_device_daemon_matches_firmware(self):
+        device = IoTDevice("tv", OPENELEC)
+        assert device.daemon.arch == "arm"
+        assert str(device.daemon.version) == "1.34"
+
+    def test_profile_defaults_to_firmware(self):
+        device = IoTDevice("tv", OPENELEC)
+        assert device.profile == OPENELEC.default_profile
+
+    def test_profile_override(self):
+        device = IoTDevice("tv", OPENELEC, profile=NONE)
+        assert device.profile == NONE
+
+    def test_lookup_requires_network(self):
+        device = raspberry_pi_3b(known_ssids=["Home"])
+        event = device.lookup("x.example")
+        assert event is None or event.kind == EventKind.DROPPED
+
+    def test_join_and_resolve(self):
+        radio = self.radio_with_home()
+        device = raspberry_pi_3b(known_ssids=["Home"], profile=WX_ASLR)
+        assert device.join_wifi(radio) is not None
+        event = device.lookup("anything.example")
+        assert event.kind == EventKind.RESPONDED
+        assert device.online
+
+    def test_phone_home_uses_vendor_name(self):
+        radio = self.radio_with_home()
+        device = raspberry_pi_3b(known_ssids=["Home"], profile=WX_ASLR)
+        device.join_wifi(radio)
+        event = device.phone_home()
+        assert event.kind == EventKind.RESPONDED
+
+    def test_status_line(self):
+        device = raspberry_pi_3b(known_ssids=["Home"])
+        assert "ubuntu-mate" in device.status()
+
+    def test_compromise_reflects_daemon(self):
+        device = raspberry_pi_3b(known_ssids=["Home"])
+        assert not device.compromised

@@ -1,0 +1,134 @@
+"""Caching forwarder, delegation poisoning, and the botnet campaign."""
+
+import random
+
+import pytest
+
+from repro.core import e13_botnet
+from repro.dns import (
+    CachingForwarder,
+    DelegationPoisoner,
+    Message,
+    SimpleDnsServer,
+    StubResolver,
+    make_query,
+)
+
+
+def make_forwarder():
+    legit = SimpleDnsServer(zone={"a.example": "1.1.1.1"}, default_address="9.9.9.9")
+    return CachingForwarder(default_upstream=legit.handle_query), legit
+
+
+class TestForwarder:
+    def test_forwards_to_default_upstream(self):
+        forwarder, _legit = make_forwarder()
+        result = StubResolver().resolve(forwarder.handle_query, "a.example")
+        assert result.address == "1.1.1.1"
+        assert forwarder.forwarded == 1
+
+    def test_caches_response_bytes(self):
+        forwarder, legit = make_forwarder()
+        resolver = StubResolver()
+        resolver.resolve(forwarder.handle_query, "a.example")
+        resolver.resolve(forwarder.handle_query, "a.example")
+        assert forwarder.forwarded == 1
+        assert forwarder.served == 1
+        assert len(legit.log) == 1
+
+    def test_cached_reply_gets_clients_transaction_id(self):
+        forwarder, _legit = make_forwarder()
+        forwarder.handle_query(make_query(0x1111, "a.example").encode())
+        second = forwarder.handle_query(make_query(0x2222, "a.example").encode())
+        assert Message.decode(second).id == 0x2222
+
+    def test_delegation_routes_by_longest_suffix(self):
+        forwarder, _legit = make_forwarder()
+        vendor = SimpleDnsServer(default_address="7.7.7.7")
+        sub = SimpleDnsServer(default_address="8.8.8.8")
+        forwarder.delegate("vendor.example", vendor.handle_query)
+        forwarder.delegate("cdn.vendor.example", sub.handle_query)
+        assert StubResolver().resolve(
+            forwarder.handle_query, "x.cdn.vendor.example").address == "8.8.8.8"
+        assert StubResolver().resolve(
+            forwarder.handle_query, "y.vendor.example").address == "7.7.7.7"
+
+    def test_suffix_does_not_match_partial_labels(self):
+        forwarder, _legit = make_forwarder()
+        vendor = SimpleDnsServer(default_address="7.7.7.7")
+        forwarder.delegate("vendor.example", vendor.handle_query)
+        result = StubResolver().resolve(forwarder.handle_query, "evilvendor.example")
+        assert result.address == "9.9.9.9"  # default, not the delegation
+
+    def test_flush_clears_cache(self):
+        forwarder, _legit = make_forwarder()
+        resolver = StubResolver()
+        resolver.resolve(forwarder.handle_query, "a.example")
+        forwarder.flush()
+        resolver.resolve(forwarder.handle_query, "a.example")
+        assert forwarder.forwarded == 2
+
+    def test_garbage_ignored(self):
+        forwarder, _legit = make_forwarder()
+        assert forwarder.handle_query(b"\x01") is None
+
+
+class TestDelegationPoisoner:
+    def test_large_bursts_poison(self):
+        forwarder, _legit = make_forwarder()
+        attacker = SimpleDnsServer(default_address="6.6.6.6")
+        poisoner = DelegationPoisoner(forwarder, "vendor.example",
+                                      attacker.handle_query, burst=2048,
+                                      rng=random.Random(1))
+        result = poisoner.run()
+        assert result.succeeded
+        assert "vendor.example" in forwarder.delegations
+        # Traffic for the zone now goes to the attacker.
+        answer = StubResolver().resolve(forwarder.handle_query, "u.vendor.example")
+        assert answer.address == "6.6.6.6"
+
+    def test_small_bursts_usually_fail(self):
+        forwarder, _legit = make_forwarder()
+        attacker = SimpleDnsServer(default_address="6.6.6.6")
+        poisoner = DelegationPoisoner(forwarder, "vendor.example",
+                                      attacker.handle_query, burst=1,
+                                      rng=random.Random(2))
+        result = poisoner.run(max_attempts=16)
+        assert not result.succeeded
+        assert "vendor.example" not in forwarder.delegations
+
+    def test_attempt_accounting(self):
+        forwarder, _legit = make_forwarder()
+        poisoner = DelegationPoisoner(forwarder, "z.example", lambda q: None,
+                                      burst=8, rng=random.Random(3))
+        result = poisoner.run(max_attempts=5)
+        assert result.spoofs_sent == 8 * result.attempts
+
+
+class TestE13:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return e13_botnet()
+
+    def test_all_rows_ok(self, result):
+        assert result.all_pass
+        assert len(result.rows) == 7
+
+    def test_five_arm_devices_recruited(self, result):
+        recruited = [row for row in result.rows if row[5]]
+        assert len(recruited) == 5
+        assert all(row[2] == "arm" for row in recruited)
+
+    def test_patched_device_untouched(self, result):
+        patched = next(row for row in result.rows if row[1] == "tizen-4")
+        assert not patched[5]
+        assert "dropped" in patched[4]
+
+    def test_x86_collateral_is_dos_not_recruitment(self, result):
+        collateral = next(row for row in result.rows if row[2] == "x86")
+        assert not collateral[5]
+        assert "crashed" in collateral[4]
+
+    def test_notes_report_poisoning_and_size(self, result):
+        assert "poisoned" in result.notes
+        assert "botnet size 5" in result.notes

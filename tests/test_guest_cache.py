@@ -1,0 +1,102 @@
+"""The guest-memory-backed DNS cache."""
+
+import pytest
+
+from repro.connman.gueststore import GuestBackedDnsCache
+from repro.dns import SimpleDnsServer, StubResolver
+from tests.conftest import fresh_daemon, loaded_pair
+
+
+def make_cache(size=0x100):
+    loaded = loaded_pair("x86")
+    storage = loaded.symbol("dns_cache_storage")
+    return GuestBackedDnsCache(loaded.process, storage.address, size), loaded
+
+
+class TestGuestStore:
+    def test_put_get(self):
+        cache, _loaded = make_cache()
+        assert cache.put("a.example", "1.2.3.4")
+        assert cache.get("A.Example") == "1.2.3.4"
+
+    def test_miss(self):
+        cache, _loaded = make_cache()
+        assert cache.get("nope.example") is None
+
+    def test_entries_live_in_guest_memory(self):
+        cache, loaded = make_cache()
+        cache.put("host.example", "10.0.0.9")
+        storage = loaded.symbol("dns_cache_storage")
+        raw = loaded.process.memory.read(storage.address, 32)
+        assert b"host.example" in raw
+        assert bytes([10, 0, 0, 9]) in raw
+
+    def test_multiple_entries(self):
+        cache, _loaded = make_cache()
+        for index in range(5):
+            cache.put(f"h{index}.example", f"10.0.0.{index}")
+        assert len(cache) == 5
+        assert cache.get("h3.example") == "10.0.0.3"
+
+    def test_ttl_expiry(self):
+        cache, _loaded = make_cache()
+        cache.put("a.example", "1.1.1.1", ttl=10)
+        cache.advance(11)
+        assert cache.get("a.example") is None
+        assert len(cache) == 0
+
+    def test_full_region_flushes(self):
+        cache, _loaded = make_cache(size=0x40)
+        for index in range(8):
+            cache.put(f"very-long-host-name-{index}.example", "9.9.9.9")
+        # Still functional and bounded after wholesale flushes.
+        assert len(cache) >= 1
+
+    def test_ipv6_not_stored(self):
+        cache, _loaded = make_cache()
+        assert not cache.put("v6.example", "20010db8" + "0" * 24)
+        assert cache.get("v6.example") is None
+
+    def test_oversized_name_rejected(self):
+        cache, _loaded = make_cache()
+        assert not cache.put("x" * 300, "1.1.1.1")
+
+    def test_clear(self):
+        cache, _loaded = make_cache()
+        cache.put("a.example", "1.1.1.1")
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_dump_renders(self):
+        cache, _loaded = make_cache()
+        cache.put("a.example", "1.1.1.1")
+        text = cache.dump()
+        assert "a.example -> 1.1.1.1" in text
+
+
+class TestDaemonIntegration:
+    def test_daemon_cache_is_guest_backed(self):
+        daemon = fresh_daemon("arm")
+        assert isinstance(daemon.cache, GuestBackedDnsCache)
+
+    def test_resolution_lands_in_guest_bss(self):
+        daemon = fresh_daemon("x86")
+        upstream = SimpleDnsServer(zone={"cached.example": "5.6.7.8"})
+        StubResolver().resolve(
+            lambda packet: daemon.handle_client_query(packet, upstream.handle_query),
+            "cached.example",
+        )
+        storage = daemon.loaded.symbol("dns_cache_storage")
+        raw = daemon.loaded.process.memory.read(storage.address, 64)
+        assert b"cached.example" in raw
+
+    def test_cache_dies_with_the_process(self):
+        daemon = fresh_daemon("x86")
+        upstream = SimpleDnsServer(zone={"cached.example": "5.6.7.8"})
+        StubResolver().resolve(
+            lambda packet: daemon.handle_client_query(packet, upstream.handle_query),
+            "cached.example",
+        )
+        assert daemon.cache.get("cached.example") == "5.6.7.8"
+        daemon.restart()
+        assert daemon.cache.get("cached.example") is None

@@ -1,0 +1,95 @@
+"""HTTP frontend responses and overflow forensics."""
+
+from repro.connman import EventKind
+from repro.core import AttackScenario, attacker_knowledge, naive_overflow_blob
+from repro.defenses import NONE, WX
+from repro.dns import build_raw_response, make_query
+from repro.exploit import Debugger, builder_for
+from repro.othercves import (
+    ROUTER_HTTPD,
+    AdaptedService,
+    adapt_exploit,
+    make_http_request,
+)
+from repro.othercves.victims import http_respond
+from tests.conftest import fresh_daemon
+
+
+class TestHttpFrontend:
+    def test_benign_upgrade_gets_200(self):
+        service = AdaptedService(ROUTER_HTTPD)
+        response, event = http_respond(service, make_http_request(b"ok-payload"))
+        assert response.startswith(b"HTTP/1.1 200")
+        assert event.kind == EventKind.RESPONDED
+
+    def test_malformed_gets_400(self):
+        service = AdaptedService(ROUTER_HTTPD)
+        response, event = http_respond(service, b"GET / HTTP/1.1\r\n\r\n")
+        assert response.startswith(b"HTTP/1.1 400")
+
+    def test_crash_gets_connection_reset(self):
+        service = AdaptedService(ROUTER_HTTPD)
+        body = b"A" * (ROUTER_HTTPD.frame.ret_offset + 16)
+        response, event = http_respond(service, make_http_request(body))
+        assert response is None
+        assert event.kind == EventKind.CRASHED
+
+    def test_down_service_gets_503(self):
+        service = AdaptedService(ROUTER_HTTPD)
+        http_respond(service, make_http_request(b"A" * (ROUTER_HTTPD.frame.ret_offset + 16)))
+        response, _event = http_respond(service, make_http_request(b"hello"))
+        assert response.startswith(b"HTTP/1.1 503")
+
+    def test_exploit_then_no_response(self):
+        service = AdaptedService(ROUTER_HTTPD, profile=WX)
+        exploit = adapt_exploit(builder_for("arm", WX), service, aslr_blind=False)
+        response, event = http_respond(service, make_http_request(exploit.payload.image))
+        assert response is None
+        assert event.kind == EventKind.COMPROMISED
+
+
+class TestOverflowForensics:
+    def test_diff_shows_exact_overflow_extent(self):
+        daemon = fresh_daemon("x86")
+        debugger = Debugger(daemon)
+        place = daemon.proxy.placement()
+        region_length = daemon.frame.ret_offset + 64
+        # Take the baseline after a benign frame setup so only the overflow
+        # itself shows up in the diff.
+        from repro.dns import ResourceRecord, make_response
+
+        benign = make_response(
+            make_query(1, "baseline.example"),
+            (ResourceRecord.a("baseline.example", "1.1.1.1"),),
+        )
+        daemon.handle_upstream_reply(benign.encode(), expected_id=1)
+        baseline = debugger.snapshot(place.name_address, region_length)
+
+        reply = build_raw_response(make_query(2, "boom.example"), naive_overflow_blob())
+        daemon.handle_upstream_reply(reply, expected_id=2)
+        changes = debugger.diff_snapshot(place.name_address, baseline)
+        changed_offsets = {offset for offset, _old, _new in changes}
+        # The return slot was among the rewritten bytes...
+        assert daemon.frame.ret_offset in changed_offsets
+        # ...and the new bytes there are the attacker's 'A's.
+        ret_change = next(c for c in changes if c[0] == daemon.frame.ret_offset)
+        assert ret_change[2] == ord("A")
+
+    def test_benign_parse_changes_only_buffer_region(self):
+        daemon = fresh_daemon("arm")
+        debugger = Debugger(daemon)
+        place = daemon.proxy.placement()
+        from repro.dns import ResourceRecord, make_response
+
+        first = make_response(
+            make_query(1, "a.example"), (ResourceRecord.a("a.example", "1.1.1.1"),)
+        )
+        daemon.handle_upstream_reply(first.encode(), expected_id=1)
+        baseline = debugger.snapshot(place.name_address, daemon.frame.ret_offset + 4)
+        second = make_response(
+            make_query(2, "bb.example"), (ResourceRecord.a("bb.example", "2.2.2.2"),)
+        )
+        daemon.handle_upstream_reply(second.encode(), expected_id=2)
+        changes = debugger.diff_snapshot(place.name_address, baseline)
+        # All rewrites stay inside the 1024-byte name buffer.
+        assert all(offset < 1024 for offset, _old, _new in changes)

@@ -1,0 +1,82 @@
+"""Paper-Listing rendering of planned payloads."""
+
+from repro.cli import main
+from repro.core import AttackScenario, attacker_knowledge
+from repro.defenses import NONE, WX, WX_ASLR
+from repro.exploit import (
+    ArmExeclpGadget,
+    ArmRopMemcpyExeclp,
+    X86RopMemcpyExeclp,
+    fill,
+    fixed,
+    plan_labels,
+    render_exploit_listing,
+    render_listing,
+)
+
+
+class TestSpans:
+    def test_plan_records_field_spans(self):
+        plan = plan_labels([fill(8, note="pad"), fixed(b"ABCD", note="chain word")])
+        assert (0, 8, "pad") in plan.spans
+        assert (8, 12, "chain word") in plan.spans
+
+
+class TestRenderListing:
+    def test_skips_padding_by_default(self):
+        plan = plan_labels([fill(64, note="pad to saved eip"),
+                            fixed(b"\xb1\x12\x01\x00", note="gadget")])
+        listing = render_listing(plan)
+        assert listing.splitlines()[0].endswith("# gadget")
+
+    def test_explicit_offset(self):
+        plan = plan_labels([fill(8, note="pad"), fixed(b"\x01\x02\x03\x04", note="x")])
+        listing = render_listing(plan, from_offset=0)
+        assert listing.splitlines()[0].startswith("+ '")
+
+    def test_escapes_bytes(self):
+        plan = plan_labels([fill(4, note="pad"), fixed(b"\xde\xad\xbe\xef", note="marker")])
+        assert "\\xde\\xad\\xbe\\xef" in render_listing(plan, from_offset=4)
+
+    def test_max_words_truncates(self):
+        plan = plan_labels([fill(4, note="pad"), fixed(b"\x00" * 60, note="chain")])
+        listing = render_listing(plan, from_offset=4, max_words=4)
+        assert "more bytes" in listing
+
+    def test_repeated_notes_collapse(self):
+        plan = plan_labels([fill(4, note="pad"), fixed(b"\x11" * 8, note="same")])
+        listing = render_listing(plan, from_offset=4)
+        assert listing.count("# same") == 1
+
+
+class TestExploitListings:
+    def test_arm_wx_listing_matches_listing_2_shape(self):
+        exploit = ArmExeclpGadget().build(
+            attacker_knowledge(AttackScenario("arm", "wx", WX))
+        )
+        listing = render_exploit_listing(exploit)
+        lines = listing.splitlines()
+        assert "pop {r0..r7, pc}" in lines[1]
+        assert "execlp@plt" in lines[-1]
+        # Listing 2 is 9 words: gadget + 8 register/pc slots.
+        assert len(lines) == 10  # header + 9 words
+
+    def test_arm_rop_listing_matches_listing_5_shape(self):
+        exploit = ArmRopMemcpyExeclp().build(
+            attacker_knowledge(AttackScenario("arm", "full", WX_ASLR))
+        )
+        listing = render_exploit_listing(exploit)
+        assert listing.count("blx r3 trampoline") == 2  # one per memcpy call
+        assert "copy 's'" in listing and "copy 'h'" in listing
+
+    def test_x86_rop_listing_has_per_char_frames(self):
+        exploit = X86RopMemcpyExeclp().build(
+            attacker_knowledge(AttackScenario("x86", "full", WX_ASLR))
+        )
+        listing = render_exploit_listing(exploit, max_words=128)
+        assert listing.count("memcpy@plt") == len(b"/bin/sh")
+
+    def test_cli_listing(self, capsys):
+        assert main(["listing", "--arch", "arm", "--level", "wx"]) == 0
+        out = capsys.readouterr().out
+        assert "execlp@plt" in out

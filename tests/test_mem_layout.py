@@ -1,0 +1,119 @@
+"""Memory layouts and the ASLR policy."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem import (
+    ARM_LAYOUT,
+    BASE_LAYOUTS,
+    PAGE_SIZE,
+    X86_LAYOUT,
+    AslrPolicy,
+    layout_for,
+    page_align_down,
+    page_align_up,
+)
+
+
+class TestAlignment:
+    def test_align_down(self):
+        assert page_align_down(0x1234) == 0x1000
+
+    def test_align_up(self):
+        assert page_align_up(0x1001) == 0x2000
+
+    def test_align_up_exact(self):
+        assert page_align_up(0x2000) == 0x2000
+
+
+class TestBaseLayouts:
+    def test_x86_classic_text_base(self):
+        assert X86_LAYOUT.text_base == 0x08048000
+
+    def test_arm_text_base_matches_paper_listings(self):
+        # Listing 2's gadget at 0x000112b1 implies text near 0x00010000.
+        assert ARM_LAYOUT.text_base == 0x00010000
+
+    def test_stack_base_derivation(self):
+        assert X86_LAYOUT.stack_base == X86_LAYOUT.stack_top - X86_LAYOUT.stack_size
+
+    def test_both_arches_registered(self):
+        assert set(BASE_LAYOUTS) == {"x86", "arm"}
+
+    def test_describe_mentions_every_region(self):
+        text = X86_LAYOUT.describe()
+        for token in ("text", "libc", "heap", "stack"):
+            assert token in text
+
+
+class TestAslrDisabled:
+    def test_layout_is_exactly_base(self):
+        layout = layout_for("x86", aslr=False, rng=random.Random(1))
+        assert layout == X86_LAYOUT
+
+    def test_deterministic_across_draws(self):
+        a = layout_for("arm", aslr=False, rng=random.Random(1))
+        b = layout_for("arm", aslr=False, rng=random.Random(999))
+        assert a == b
+
+
+class TestAslrEnabled:
+    def test_libc_slides_down_only(self):
+        for seed in range(20):
+            layout = layout_for("x86", aslr=True, rng=random.Random(seed))
+            assert layout.libc_base <= X86_LAYOUT.libc_base
+            assert layout.libc_base > X86_LAYOUT.libc_base - 256 * PAGE_SIZE
+
+    def test_libc_base_stays_page_aligned(self):
+        for seed in range(20):
+            layout = layout_for("arm", aslr=True, rng=random.Random(seed))
+            assert layout.libc_base % PAGE_SIZE == 0
+
+    def test_text_never_moves_non_pie(self):
+        for seed in range(20):
+            layout = layout_for("x86", aslr=True, rng=random.Random(seed))
+            assert layout.text_base == X86_LAYOUT.text_base
+
+    def test_stack_top_moves(self):
+        tops = {
+            layout_for("x86", aslr=True, rng=random.Random(seed)).stack_top
+            for seed in range(32)
+        }
+        assert len(tops) > 8
+
+    def test_entropy_across_seeds(self):
+        bases = {
+            layout_for("x86", aslr=True, rng=random.Random(seed)).libc_base
+            for seed in range(64)
+        }
+        assert len(bases) > 32
+
+    def test_same_rng_stream_gives_different_boots(self):
+        rng = random.Random(7)
+        policy = AslrPolicy(enabled=True)
+        first = policy.instantiate("x86", rng)
+        second = policy.instantiate("x86", rng)
+        assert first != second
+
+    def test_unknown_arch_rejected(self):
+        with pytest.raises(KeyError):
+            layout_for("mips", aslr=False, rng=random.Random(0))
+
+
+@settings(max_examples=30)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_property_randomized_regions_never_collide(seed):
+    """Under any slide, binary/libc/heap/stack regions stay disjoint."""
+    layout = layout_for("arm", aslr=True, rng=random.Random(seed))
+    regions = [
+        (layout.text_base, layout.text_base + 0x20000),
+        (layout.heap_base, layout.heap_base + layout.heap_size),
+        (layout.libc_base, layout.libc_base + 0x20000),
+        (layout.stack_base, layout.stack_top),
+    ]
+    regions.sort()
+    for (_, end), (start, _) in zip(regions, regions[1:]):
+        assert end <= start

@@ -1,0 +1,158 @@
+"""Final grab-bag: ISA corner semantics, DNS details, net behaviors."""
+
+import pytest
+
+from repro.cpu import IllegalInstruction, Process, make_emulator
+from repro.cpu.arm import asm as arm
+from repro.cpu.x86 import asm as x86
+from repro.mem import AddressSpace, Perm
+
+from tests.test_cpu_arm import run_code as run_arm
+from tests.test_cpu_x86 import run_code as run_x86
+
+
+class TestArmCorners:
+    def test_push_with_pc_stores_plus_eight(self, scratch_space):
+        code = arm.push(["pc"]) + b"\xff\xff\xff\xff"
+        process, _ = run_arm(scratch_space, code)
+        stored = process.memory.read_u32(process.sp)
+        assert stored == 0x1000 + 8
+
+    def test_mov_pc_branches(self, scratch_space):
+        scratch_space.write(0x1100, b"\xff\xff\xff\xff", check=False)
+        code = arm.mov_imm("r1", 0x1100) + arm.mov_reg("pc", "r1")
+        process, result = run_arm(scratch_space, code)
+        assert process.pc == 0x1100
+        assert result.crashed
+
+    def test_ldr_pc_branches(self, scratch_space):
+        scratch_space.write(0x1100, b"\xff\xff\xff\xff", check=False)
+
+        def setup(process):
+            process.memory.write_u32(process.sp - 8, 0x1100)
+
+        code = arm.ldr("pc", "sp", -8)
+        process, _ = run_arm(scratch_space, code, setup=setup)
+        assert process.pc == 0x1100
+
+    def test_add_with_pc_destination(self, scratch_space):
+        scratch_space.write(0x1200, b"\xff\xff\xff\xff", check=False)
+        # pc = r2 + 0x100 where r2 = 0x1100.
+        code = arm.mov_imm("r2", 0x1100) + arm.add_imm("pc", "r2", 0x100)
+        process, _ = run_arm(scratch_space, code)
+        assert process.pc == 0x1200
+
+    def test_bx_clears_thumb_bit(self, scratch_space):
+        scratch_space.write(0x1100, b"\xff\xff\xff\xff", check=False)
+
+        def setup(process):
+            process.registers["r14"] = 0x1101  # thumb-bit set
+
+        process, _ = run_arm(scratch_space, arm.bx("lr"), setup=setup)
+        assert process.pc == 0x1100
+
+    def test_cmp_sets_flags_not_registers(self, scratch_space):
+        code = (
+            arm.mov_imm("r0", 5)
+            + arm.cmp_imm("r0", 5)
+            + b"\xff\xff\xff\xff"
+        )
+        process, _ = run_arm(scratch_space, code)
+        assert process.registers["r0"] == 5
+        assert process.registers["cpsr"] & (1 << 30)  # Z set
+
+
+class TestX86Corners:
+    def test_cmp_eax_imm32(self, scratch_space):
+        code = (
+            x86.mov_reg_imm32("eax", 7)
+            + b"\x3d\x07\x00\x00\x00"      # cmp eax, 7
+            + x86.jz_rel8(0x100A, 0x1010)
+        )
+        code += b"\x90" * (0x10 - len(code))
+        code += x86.mov_reg_imm32("ebx", 0x77) + x86.hlt()
+        process, _ = run_x86(scratch_space, code)
+        assert process.registers["ebx"] == 0x77
+
+    def test_retn_semantics_end_to_end(self, scratch_space):
+        # caller pushes arg then calls; callee returns with ret 4.
+        scratch_space.write(0x1100, x86.ret_imm16(4), check=False)
+        code = (
+            x86.push_imm32(0xAB)
+            + x86.call_rel32(0x1005, 0x1100)
+            + x86.hlt()
+        )
+        process, result = run_x86(scratch_space, code)
+        assert result.crashed  # at hlt, post-return
+        assert process.sp == 0x2F000  # arg cleaned by the callee
+
+    def test_esp_relative_push_pop_symmetry(self, scratch_space):
+        code = (
+            x86.mov_reg_reg("eax", "esp")
+            + x86.push_reg("eax")
+            + x86.pop_reg("ecx")
+            + x86.hlt()
+        )
+        process, _ = run_x86(scratch_space, code)
+        assert process.registers["ecx"] == 0x2F000
+
+    def test_nop_is_not_xchg_semantically(self, scratch_space):
+        # 0x90: eax unchanged (trivially true, but pins the decode split).
+        code = x86.mov_reg_imm32("eax", 3) + b"\x90" + x86.hlt()
+        process, _ = run_x86(scratch_space, code)
+        assert process.registers["eax"] == 3
+
+
+class TestDnsDetails:
+    def test_question_class_preserved(self):
+        from repro.dns import Message, Question, RecordClass, RecordType
+
+        question = Question("x.example", RecordType.A, RecordClass.ANY)
+        message = Message(id=1, questions=(question,))
+        assert Message.decode(message.encode()).questions[0].qclass == RecordClass.ANY
+
+    def test_additionals_roundtrip(self):
+        from repro.dns import Flags, Message, ResourceRecord
+
+        message = Message(
+            id=2,
+            flags=Flags(qr=True),
+            additionals=(ResourceRecord.a("ns.example", "9.9.9.9"),),
+        )
+        decoded = Message.decode(message.encode())
+        assert decoded.additionals[0].address == "9.9.9.9"
+
+    def test_txt_record_roundtrip(self):
+        from repro.dns import Message, Flags, ResourceRecord
+
+        txt = ResourceRecord.txt("t.example", b"hello world")
+        message = Message(id=3, flags=Flags(qr=True), answers=(txt,))
+        decoded = Message.decode(message.encode())
+        assert decoded.answers[0].rdata == b"\x0bhello world"
+
+
+class TestNetDetails:
+    def test_reply_leg_src_is_service(self):
+        from repro.dns import SimpleDnsServer, make_query
+        from repro.net import DNS_PORT, Host, Network
+
+        network = Network("t", subnet_prefix="10.5.5")
+        server = Host("srv")
+        network.attach(server, ip="10.5.5.1")
+        dns = SimpleDnsServer(default_address="1.1.1.1")
+        server.bind_udp(DNS_PORT, lambda p, _d: dns.handle_query(p))
+        client = Host("cli")
+        network.attach(client)
+        client.send_udp("10.5.5.1", DNS_PORT, make_query(1, "x.example").encode())
+        reply_leg = network.traffic[-1]
+        assert reply_leg.src_ip == "10.5.5.1" and reply_leg.src_port == DNS_PORT
+        assert reply_leg.dst_ip == client.ip
+
+    def test_unanswered_send_logs_single_leg(self):
+        from repro.net import Host, Network
+
+        network = Network("t2", subnet_prefix="10.6.6")
+        client = Host("cli")
+        network.attach(client)
+        client.send_udp("10.6.6.99", 1234, b"ping")
+        assert len(network.traffic) == 1

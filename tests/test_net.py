@@ -1,0 +1,249 @@
+"""Network fabric: hosts, LANs, DHCP, wireless roaming, Pineapple."""
+
+import pytest
+
+from repro.dns import SimpleDnsServer, StubResolver, fixed_blob_server
+from repro.net import (
+    AccessPoint,
+    DhcpServer,
+    DNS_PORT,
+    Host,
+    Network,
+    RadioEnvironment,
+    WifiPineapple,
+    WirelessStation,
+    run_handshake,
+)
+
+
+def lan_with_dns(zone=None):
+    network = Network("lan", subnet_prefix="10.0.0")
+    server_host = Host("dns")
+    network.attach(server_host, ip="10.0.0.1")
+    dns = SimpleDnsServer(zone=zone or {"a.example": "1.2.3.4"})
+    server_host.bind_udp(DNS_PORT, lambda payload, _dgram: dns.handle_query(payload))
+    return network, server_host, dns
+
+
+class TestHostNetwork:
+    def test_attach_allocates_ip(self):
+        network = Network("lan", subnet_prefix="10.9.9")
+        host = Host("box")
+        ip = network.attach(host)
+        assert ip.startswith("10.9.9.")
+        assert network.host_by_ip(ip) is host
+
+    def test_static_attach_conflict_rejected(self):
+        network, _server, _dns = lan_with_dns()
+        with pytest.raises(ValueError):
+            network.attach(Host("dup"), ip="10.0.0.1")
+
+    def test_detach_clears_addressing(self):
+        network = Network("lan")
+        host = Host("box")
+        network.attach(host)
+        network.detach(host)
+        assert host.ip is None and host.network is None
+
+    def test_reattach_moves_networks(self):
+        a, b = Network("a", subnet_prefix="10.1.1"), Network("b", subnet_prefix="10.2.2")
+        host = Host("roamer")
+        a.attach(host)
+        b.attach(host)
+        assert host.network is b
+        assert not a.hosts()
+
+    def test_udp_roundtrip(self):
+        network, _server, _dns = lan_with_dns()
+        client = Host("client")
+        network.attach(client)
+        result = StubResolver().resolve(
+            lambda query: client.send_udp("10.0.0.1", DNS_PORT, query), "a.example"
+        )
+        assert result.address == "1.2.3.4"
+
+    def test_send_to_unknown_ip_drops(self):
+        network = Network("lan")
+        client = Host("client")
+        network.attach(client)
+        assert client.send_udp("10.99.99.99", 53, b"hi") is None
+
+    def test_send_to_unbound_port_drops(self):
+        network, server_host, _dns = lan_with_dns()
+        client = Host("client")
+        network.attach(client)
+        assert client.send_udp(server_host.ip, 9999, b"hi") is None
+
+    def test_detached_host_cannot_send(self):
+        assert Host("loner").send_udp("10.0.0.1", 53, b"x") is None
+
+    def test_traffic_log(self):
+        network, server_host, _dns = lan_with_dns()
+        client = Host("client")
+        network.attach(client)
+        client.send_udp(server_host.ip, DNS_PORT, b"ping")
+        assert network.traffic[-1].dst_port == DNS_PORT
+
+    def test_double_bind_rejected(self):
+        host = Host("h")
+        host.bind_udp(53, lambda p, d: None)
+        with pytest.raises(ValueError):
+            host.bind_udp(53, lambda p, d: None)
+
+    def test_dns_transport_uses_resolv_conf(self):
+        network, server_host, _dns = lan_with_dns()
+        client = Host("client")
+        network.attach(client)
+        client.configure(ip=client.ip, dns_server=server_host.ip)
+        result = StubResolver().resolve(client.dns_transport(), "a.example")
+        assert result.ok
+
+    def test_dns_transport_without_resolver_fails(self):
+        client = Host("client")
+        assert client.dns_transport()(b"query") is None
+
+
+class TestDhcp:
+    def make_server(self):
+        return DhcpServer("10.0.0", router="10.0.0.1", dns_server="10.0.0.1",
+                          pool_start=50, pool_size=3)
+
+    def test_handshake_grants_lease(self):
+        server = self.make_server()
+        ack = run_handshake(server, "02:00:00:00:00:01")
+        assert ack is not None
+        assert ack.offer.ip == "10.0.0.50"
+        assert ack.offer.dns_server == "10.0.0.1"
+
+    def test_same_mac_keeps_lease(self):
+        server = self.make_server()
+        first = run_handshake(server, "mac-a")
+        second = run_handshake(server, "mac-a")
+        assert first.offer.ip == second.offer.ip
+        assert server.lease_count == 1
+
+    def test_distinct_macs_distinct_ips(self):
+        server = self.make_server()
+        ips = {run_handshake(server, f"mac-{i}").offer.ip for i in range(3)}
+        assert len(ips) == 3
+
+    def test_pool_exhaustion(self):
+        server = self.make_server()
+        for index in range(3):
+            run_handshake(server, f"mac-{index}")
+        assert server.handle_discover("mac-overflow") is None
+
+    def test_request_for_foreign_offer_rejected(self):
+        server = self.make_server()
+        offer = server.handle_discover("mac-a")
+        from repro.net import DhcpOffer
+
+        forged = DhcpOffer(ip="10.0.0.99", router=offer.router, dns_server=offer.dns_server)
+        assert server.handle_request("mac-a", forged) is None
+
+
+class TestWireless:
+    def build_radio(self):
+        network, _server, _dns = lan_with_dns()
+        dhcp = DhcpServer("10.0.0", router="10.0.0.1", dns_server="10.0.0.1")
+        radio = RadioEnvironment()
+        ap = AccessPoint(ssid="Home", network=network, dhcp=dhcp, signal_dbm=-60)
+        radio.add(ap)
+        return radio, ap
+
+    def test_scan_sorted_by_signal(self):
+        radio, ap = self.build_radio()
+        stronger = AccessPoint(ssid="Other", network=Network("x"), dhcp=ap.dhcp,
+                               signal_dbm=-30)
+        radio.add(stronger)
+        assert radio.scan()[0] is stronger
+
+    def test_station_joins_known_ssid_only(self):
+        radio, ap = self.build_radio()
+        station = WirelessStation(Host("dev"), known_ssids=["Nope"])
+        assert station.auto_join(radio) is None
+
+    def test_association_configures_via_dhcp(self):
+        radio, ap = self.build_radio()
+        station = WirelessStation(Host("dev"), known_ssids=["Home"])
+        record = station.auto_join(radio)
+        assert record.ap is ap
+        assert station.host.ip == record.ip
+        assert station.host.dns_server == "10.0.0.1"
+
+    def test_auto_join_idempotent(self):
+        radio, _ap = self.build_radio()
+        station = WirelessStation(Host("dev"), known_ssids=["Home"])
+        assert station.auto_join(radio) is not None
+        assert station.auto_join(radio) is None  # already on the best AP
+
+    def test_station_roams_to_stronger_evil_twin(self):
+        radio, ap = self.build_radio()
+        station = WirelessStation(Host("dev"), known_ssids=["Home"])
+        station.auto_join(radio)
+        twin_net = Network("twin", subnet_prefix="172.16.42")
+        twin_dhcp = DhcpServer("172.16.42", router="172.16.42.1", dns_server="172.16.42.1")
+        twin = AccessPoint(ssid="Home", network=twin_net, dhcp=twin_dhcp, signal_dbm=-20)
+        radio.add(twin)
+        moved = station.auto_join(radio)
+        assert moved is not None and moved.ap is twin
+        assert station.host.network is twin_net
+        assert len(station.history) == 2
+
+    def test_weaker_twin_does_not_win(self):
+        radio, ap = self.build_radio()
+        station = WirelessStation(Host("dev"), known_ssids=["Home"])
+        station.auto_join(radio)
+        weak = AccessPoint(ssid="Home", network=Network("weak"), dhcp=ap.dhcp,
+                           signal_dbm=-80)
+        radio.add(weak)
+        assert station.auto_join(radio) is None
+
+
+class TestPineapple:
+    def test_serves_malicious_dns_on_itself(self):
+        pineapple = WifiPineapple(fixed_blob_server(b"\x01a\x00"))
+        assert pineapple.dhcp.dns_server == pineapple.host.ip
+        assert pineapple.host.service_on(DNS_PORT) is not None
+
+    def test_impersonation_broadcasts_strong_twin(self):
+        radio = RadioEnvironment()
+        pineapple = WifiPineapple(fixed_blob_server(b"\x01a\x00"))
+        ap = pineapple.impersonate("Target", radio, signal_dbm=-20)
+        assert radio.scan()[0] is ap
+        assert ap.ssid == "Target"
+
+    def test_stop_broadcast_cleans_radio(self):
+        radio = RadioEnvironment()
+        pineapple = WifiPineapple(fixed_blob_server(b"\x01a\x00"))
+        pineapple.impersonate("Target", radio)
+        pineapple.stop_broadcast(radio)
+        assert not radio.scan()
+        assert not pineapple.broadcasts
+
+    def test_client_dns_reaches_payload_server(self):
+        radio = RadioEnvironment()
+        server = fixed_blob_server(b"\x03abc\x00")
+        pineapple = WifiPineapple(server)
+        pineapple.impersonate("Lure", radio)
+        station = WirelessStation(Host("victim"), known_ssids=["Lure"])
+        station.auto_join(radio)
+        from repro.dns import make_query
+
+        reply = station.host.dns_transport()(make_query(1, "x.example").encode())
+        assert reply is not None
+        assert server.served == ["x.example"]
+
+    def test_swap_payload(self):
+        radio = RadioEnvironment()
+        pineapple = WifiPineapple(fixed_blob_server(b"\x01a\x00"))
+        replacement = fixed_blob_server(b"\x01b\x00")
+        pineapple.serve_payload(replacement)
+        pineapple.impersonate("Lure", radio)
+        station = WirelessStation(Host("victim"), known_ssids=["Lure"])
+        station.auto_join(radio)
+        from repro.dns import make_query
+
+        station.host.dns_transport()(make_query(1, "y.example").encode())
+        assert replacement.served == ["y.example"]
+        assert pineapple.captured_queries == ["y.example"]

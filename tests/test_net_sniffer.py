@@ -1,0 +1,114 @@
+"""Packet sniffer: capture, DNS decoding, payload detection."""
+
+from repro.core import AttackScenario, PineappleWorld, attacker_knowledge
+from repro.defenses import WX_ASLR
+from repro.dns import SimpleDnsServer, StubResolver
+from repro.exploit import builder_for, malicious_server_for
+from repro.firmware import raspberry_pi_3b
+from repro.net import (
+    DNS_PORT,
+    Host,
+    Network,
+    PacketSniffer,
+    WifiPineapple,
+)
+
+
+def lan_with_dns():
+    network = Network("lan", subnet_prefix="10.3.3")
+    server_host = Host("dns")
+    network.attach(server_host, ip="10.3.3.1")
+    dns = SimpleDnsServer(default_address="4.4.4.4")
+    server_host.bind_udp(DNS_PORT, lambda payload, _d: dns.handle_query(payload))
+    client = Host("client")
+    network.attach(client)
+    client.configure(ip=client.ip, dns_server="10.3.3.1")
+    return network, client
+
+
+class TestCapture:
+    def test_both_legs_captured(self):
+        network, client = lan_with_dns()
+        sniffer = PacketSniffer()
+        sniffer.attach(network)
+        StubResolver().resolve(client.dns_transport(), "a.example")
+        packets = sniffer.poll()
+        assert len(packets) == 2
+        assert packets[0].dns is not None and not packets[0].dns.is_response
+        assert packets[1].dns is not None and packets[1].dns.is_response
+
+    def test_poll_is_incremental(self):
+        network, client = lan_with_dns()
+        sniffer = PacketSniffer()
+        sniffer.attach(network)
+        StubResolver().resolve(client.dns_transport(), "a.example")
+        assert len(sniffer.poll()) == 2
+        assert sniffer.poll() == []
+        StubResolver().resolve(client.dns_transport(), "b.example")
+        assert len(sniffer.poll()) == 2
+        assert len(sniffer.captured) == 4
+
+    def test_attach_after_traffic_sees_only_new(self):
+        network, client = lan_with_dns()
+        StubResolver().resolve(client.dns_transport(), "early.example")
+        sniffer = PacketSniffer()
+        sniffer.attach(network)
+        assert sniffer.poll() == []
+
+    def test_non_dns_traffic_not_decoded(self):
+        network, client = lan_with_dns()
+        peer = Host("peer")
+        network.attach(peer)
+        peer.bind_udp(9000, lambda payload, _d: b"pong")
+        sniffer = PacketSniffer()
+        sniffer.attach(network)
+        client.send_udp(peer.ip, 9000, b"ping")
+        packets = sniffer.poll()
+        assert all(p.dns is None and not p.suspicious for p in packets)
+
+    def test_benign_dns_not_suspicious(self):
+        network, client = lan_with_dns()
+        sniffer = PacketSniffer()
+        sniffer.attach(network)
+        StubResolver().resolve(client.dns_transport(), "fine.example")
+        sniffer.poll()
+        assert sniffer.suspicious_packets() == []
+
+    def test_describe_format(self):
+        network, client = lan_with_dns()
+        sniffer = PacketSniffer()
+        sniffer.attach(network)
+        StubResolver().resolve(client.dns_transport(), "a.example")
+        sniffer.poll()
+        text = sniffer.describe()
+        assert "[lan]" in text and "a.example" in text
+
+
+class TestPayloadDetection:
+    def test_exploit_response_flagged(self):
+        world = PineappleWorld.build("Home")
+        pi = raspberry_pi_3b(known_ssids=["Home"], profile=WX_ASLR)
+        pi.join_wifi(world.radio)
+        exploit = builder_for("arm", WX_ASLR).build(
+            attacker_knowledge(AttackScenario("arm", "f", WX_ASLR))
+        )
+        pineapple = WifiPineapple(malicious_server_for(exploit))
+        pineapple.impersonate("Home", world.radio)
+        sniffer = PacketSniffer()
+        sniffer.attach(world.home_network)
+        sniffer.attach(pineapple.network)
+        pi.join_wifi(world.radio)
+        pi.lookup("ota.example")
+        sniffer.poll()
+        flagged = sniffer.suspicious_packets()
+        assert len(flagged) == 1
+        assert flagged[0].network == "pineapple-lan"
+        assert "malformed name" in flagged[0].reason
+
+    def test_dns_packets_view(self):
+        network, client = lan_with_dns()
+        sniffer = PacketSniffer()
+        sniffer.attach(network)
+        StubResolver().resolve(client.dns_transport(), "x.example")
+        sniffer.poll()
+        assert len(sniffer.dns_packets()) == 2

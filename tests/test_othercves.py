@@ -1,0 +1,176 @@
+"""§V adaptation: service specs, transports, and retargeted exploits."""
+
+import pytest
+
+from repro.connman import EventKind
+from repro.defenses import NONE, WX, WX_ASLR
+from repro.dns import build_raw_response, make_query
+from repro.exploit import builder_for
+from repro.othercves import (
+    ALL_SPECS,
+    ASTERISK,
+    AdaptedService,
+    DNSMASQ,
+    EMBEDDED_HTTPD,
+    ROUTER_HTTPD,
+    SYSTEMD_RESOLVED,
+    TCP_SERVICE,
+    adapt_exploit,
+    deliver_to_service,
+    knowledge_for_service,
+    make_http_request,
+    make_tcp_packet,
+)
+
+
+class TestSpecs:
+    def test_all_specs_cover_three_protocols(self):
+        assert {spec.protocol for spec in ALL_SPECS} == {"dns", "http", "tcp"}
+
+    def test_dns_family_marked_minimal(self):
+        for spec in (DNSMASQ, SYSTEMD_RESOLVED, ASTERISK):
+            assert spec.adaptation_effort == "minimal"
+
+    def test_protocol_family_marked_moderate(self):
+        for spec in (ROUTER_HTTPD, EMBEDDED_HTTPD, TCP_SERVICE):
+            assert spec.adaptation_effort == "moderate"
+
+    def test_buffer_sizes_differ_from_connman(self):
+        assert DNSMASQ.frame.buffer_size != 1024
+        assert DNSMASQ.frame.ret_offset == DNSMASQ.frame.buffer_size + 12 + 4
+
+    def test_distinct_build_seeds(self):
+        assert len({spec.build_seed for spec in ALL_SPECS}) == len(ALL_SPECS)
+
+    def test_describe(self):
+        assert "CVE-2017-14493" in DNSMASQ.describe()
+
+
+class TestServiceLifecycle:
+    def test_binary_renamed(self):
+        service = AdaptedService(DNSMASQ)
+        assert service.binary.name == "dnsmasq"
+
+    def test_wrong_protocol_entry_rejected(self):
+        service = AdaptedService(DNSMASQ)
+        with pytest.raises(ValueError):
+            service.handle_http_request(b"GET / HTTP/1.1\r\n\r\n")
+        with pytest.raises(ValueError):
+            service.handle_tcp_packet(b"CTRL\x00\x00")
+
+    def test_crash_marks_down_and_restart_revives(self):
+        service = AdaptedService(DNSMASQ)
+        blob = b"".join(bytes([63]) + b"A" * 63 for _ in range(8)) + b"\x00"
+        query = make_query(1, "x.example")
+        event = service.handle_dns_reply(build_raw_response(query, blob), expected_id=1)
+        assert event.kind == EventKind.CRASHED
+        assert not service.alive
+        service.restart()
+        assert service.alive
+
+    def test_patched_service_drops_oversize(self):
+        service = AdaptedService(DNSMASQ, vulnerable=False)
+        blob = b"".join(bytes([63]) + b"A" * 63 for _ in range(8)) + b"\x00"
+        query = make_query(1, "x.example")
+        event = service.handle_dns_reply(build_raw_response(query, blob), expected_id=1)
+        assert event.kind == EventKind.DROPPED
+        assert service.alive
+
+
+class TestHttpVictim:
+    def test_request_builder_roundtrip(self):
+        raw = make_http_request(b"payload-bytes")
+        assert raw.startswith(b"POST ")
+        assert b"Content-Length: 13" in raw
+
+    def test_malformed_requests_dropped(self):
+        service = AdaptedService(ROUTER_HTTPD)
+        for bad in (b"GET / HTTP/1.1\r\n\r\n",          # wrong method
+                    b"POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nab",  # short body
+                    b"POST /x HTTP/1.1\r\n\r\nbody",     # no content-length
+                    b"no-separator"):
+            event = service.handle_http_request(bad)
+            assert event.kind == EventKind.DROPPED, bad
+
+    def test_small_body_handled(self):
+        service = AdaptedService(ROUTER_HTTPD)
+        event = service.handle_http_request(make_http_request(b"tiny"))
+        assert event.kind == EventKind.RESPONDED
+
+    def test_oversized_body_crashes_vulnerable(self):
+        service = AdaptedService(ROUTER_HTTPD)
+        body = b"A" * (ROUTER_HTTPD.frame.ret_offset + 16)
+        event = service.handle_http_request(make_http_request(body))
+        assert event.kind == EventKind.CRASHED
+
+    def test_oversized_body_dropped_when_patched(self):
+        service = AdaptedService(ROUTER_HTTPD, vulnerable=False)
+        body = b"A" * (ROUTER_HTTPD.frame.ret_offset + 16)
+        event = service.handle_http_request(make_http_request(body))
+        assert event.kind == EventKind.DROPPED
+
+
+class TestTcpVictim:
+    def test_bad_magic_dropped(self):
+        service = AdaptedService(TCP_SERVICE)
+        event = service.handle_tcp_packet(b"XXXX\x00\x04body")
+        assert event.kind == EventKind.DROPPED
+
+    def test_packet_builder(self):
+        packet = make_tcp_packet(b"hello")
+        assert packet[:4] == b"CTRL"
+        assert int.from_bytes(packet[4:6], "big") == 5
+
+    def test_oversized_body_crashes(self):
+        service = AdaptedService(TCP_SERVICE)
+        body = b"B" * (TCP_SERVICE.frame.ret_offset + 8)
+        event = service.handle_tcp_packet(make_tcp_packet(body))
+        assert event.kind == EventKind.CRASHED
+
+
+class TestAdaptedExploits:
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda spec: spec.name)
+    def test_rop_roots_every_service_under_full_protections(self, spec):
+        service = AdaptedService(spec, profile=WX_ASLR)
+        exploit = adapt_exploit(builder_for(spec.arch, WX_ASLR), service, aslr_blind=True)
+        report = deliver_to_service(exploit, service)
+        assert report.got_root_shell, report.describe()
+
+    def test_dns_family_minimal_modification_is_new_addresses(self):
+        """The §V claim: the same builder retargets by re-reading addresses."""
+        connman_knowledge = None
+        from repro.core import AttackScenario, attacker_knowledge
+
+        connman_knowledge = attacker_knowledge(AttackScenario("x86", "W^X", WX))
+        service = AdaptedService(DNSMASQ, profile=WX)
+        service_knowledge = knowledge_for_service(service, aslr_blind=False)
+        # Different frame geometry and different addresses...
+        assert service_knowledge.ret_offset != connman_knowledge.ret_offset
+        assert service_knowledge.plt != connman_knowledge.plt
+        # ...same builder type, successful exploit.
+        exploit = builder_for("x86", WX).build(service_knowledge)
+        assert deliver_to_service(exploit, service).got_root_shell
+
+    def test_connman_payload_fails_against_dnsmasq_unmodified(self):
+        """Without the 'minimal modification' the offsets are wrong."""
+        from repro.core import AttackScenario, attacker_knowledge
+        from repro.exploit import X86Ret2Libc
+
+        connman_knowledge = attacker_knowledge(AttackScenario("x86", "W^X", WX))
+        exploit = X86Ret2Libc().build(connman_knowledge)  # connman's 1040 offset
+        service = AdaptedService(DNSMASQ, profile=WX)
+        report = deliver_to_service(exploit, service)
+        assert not report.got_root_shell
+
+    def test_canary_blocks_adapted_exploit(self):
+        service = AdaptedService(ASTERISK, profile=NONE.with_(canary=True))
+        exploit = adapt_exploit(builder_for("x86", NONE), service, aslr_blind=False)
+        report = deliver_to_service(exploit, service)
+        assert report.event.signal == "SIGABRT"
+
+    def test_http_delivery_uses_raw_image(self):
+        service = AdaptedService(EMBEDDED_HTTPD, profile=NONE)
+        exploit = adapt_exploit(builder_for("x86", NONE), service, aslr_blind=False)
+        report = deliver_to_service(exploit, service)
+        assert report.got_root_shell
+        assert report.protocol == "http"

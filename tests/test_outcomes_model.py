@@ -1,0 +1,78 @@
+"""DaemonEvent / ExecutionResult / scenario-result presentation model."""
+
+import pytest
+
+from repro.connman import DaemonEvent, EventKind
+from repro.core import AttackScenario, ScenarioResult
+from repro.cpu import ExecutionResult, SpawnRecord
+from repro.defenses import NONE
+
+
+class TestDaemonEvent:
+    def test_root_shell_detection(self):
+        spawn = SpawnRecord(path="/bin/sh", argv=(), uid=0)
+        event = DaemonEvent(kind=EventKind.COMPROMISED, spawn=spawn)
+        assert event.is_root_shell
+        assert not event.is_dos
+
+    def test_non_root_spawn_is_not_root_shell(self):
+        spawn = SpawnRecord(path="/bin/sh", argv=(), uid=1000)
+        event = DaemonEvent(kind=EventKind.COMPROMISED, spawn=spawn)
+        assert not event.is_root_shell
+
+    def test_dos_kinds(self):
+        assert DaemonEvent(kind=EventKind.CRASHED).is_dos
+        assert DaemonEvent(kind=EventKind.HUNG).is_dos
+        assert not DaemonEvent(kind=EventKind.RESPONDED).is_dos
+        assert not DaemonEvent(kind=EventKind.DROPPED).is_dos
+
+    def test_describe_includes_signal_and_spawn(self):
+        spawn = SpawnRecord(path="sh", argv=(), uid=0)
+        event = DaemonEvent(kind=EventKind.COMPROMISED, spawn=spawn, detail="via rop")
+        text = event.describe()
+        assert "compromised" in text and "sh" in text and "via rop" in text
+        crashed = DaemonEvent(kind=EventKind.CRASHED, signal="SIGSEGV")
+        assert "SIGSEGV" in crashed.describe()
+
+
+class TestExecutionResult:
+    def test_spawned_flag(self):
+        assert ExecutionResult(reason="execve", steps=4).spawned
+        assert not ExecutionResult(reason="exit", steps=4).spawned
+
+    def test_crash_carries_signal(self):
+        class FakeFault(Exception):
+            signal = "SIGSEGV"
+
+        result = ExecutionResult(reason="fault", steps=1, fault=FakeFault())
+        assert result.crashed and result.signal == "SIGSEGV"
+
+    def test_describe(self):
+        result = ExecutionResult(reason="exit", steps=12, detail="exit(0)")
+        assert "12 steps" in result.describe()
+
+
+class TestScenarioResult:
+    def test_not_built_outcome(self):
+        scenario = AttackScenario("x86", "none", NONE)
+        result = ScenarioResult(scenario=scenario, exploit=None, event=None,
+                                error="missing gadget")
+        assert not result.succeeded
+        assert result.outcome == "not built: missing gadget"
+        assert result.row()[2] == "-"
+
+    def test_crash_outcome_is_described(self):
+        scenario = AttackScenario("x86", "none", NONE)
+        event = DaemonEvent(kind=EventKind.CRASHED, signal="SIGSEGV", detail="boom")
+        result = ScenarioResult(scenario=scenario, exploit=None, event=event)
+        assert "SIGSEGV" in result.outcome
+
+
+class TestSpawnRecord:
+    def test_basename_matching(self):
+        assert SpawnRecord(path="/usr/bin/sh", argv=(), uid=0).is_shell
+        assert SpawnRecord(path="sh", argv=(), uid=0).is_shell
+        assert not SpawnRecord(path="/bin/shutdown", argv=(), uid=0).is_shell
+
+    def test_exec_family_paths(self):
+        assert SpawnRecord(path="/bin//sh", argv=("/bin//sh",), uid=0).is_root_shell

@@ -1,0 +1,108 @@
+"""Adversarial label-planner cases: the layouts that nearly don't plan."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exploit import (
+    ANY_LENGTHS,
+    Field,
+    PlanError,
+    fill,
+    fixed,
+    plan_labels,
+    simulate_expansion,
+)
+
+
+class TestBoundaryGeometry:
+    def test_island_of_exactly_63_after_one_slack_byte(self):
+        plan = plan_labels([fill(1), fixed(b"B" * 63)])
+        assert simulate_expansion(plan.blob) == plan.image
+        assert plan.boundaries == [0]
+
+    def test_island_of_64_after_one_slack_byte_fails(self):
+        with pytest.raises(PlanError):
+            plan_labels([fill(1), fixed(b"B" * 64)])
+
+    def test_island_of_64_with_midpoint_slack_plans(self):
+        plan = plan_labels([fill(1), fixed(b"B" * 32), fill(1), fixed(b"B" * 32)])
+        assert simulate_expansion(plan.blob) == plan.image
+
+    def test_alternating_single_bytes(self):
+        fields = []
+        for index in range(30):
+            fields.append(fill(1))
+            fields.append(fixed(bytes([index])))
+        plan = plan_labels(fields)
+        assert simulate_expansion(plan.blob) == plan.image
+
+    def test_restricted_lengths_respected_under_pressure(self):
+        # Only length 2 allowed: every boundary consumes exactly 3 bytes.
+        only_two = frozenset({2})
+        plan = plan_labels([fill(30, allowed=only_two)])
+        assert all(len(label) == 2 for label in plan.labels)
+        assert len(plan.labels) == 10
+
+    def test_unsatisfiable_restriction_fails(self):
+        # Length 5 can never land the next boundary on a multiple of 6... it
+        # can (6-byte stride divides 30); use a length that overshoots the end.
+        only_big = frozenset({63})
+        with pytest.raises(PlanError):
+            plan_labels([fill(10, allowed=only_big)])
+
+    def test_single_byte_payload_unplannable(self):
+        # A boundary needs at least one content byte after it; a 1-byte
+        # image cannot host any label.
+        with pytest.raises(PlanError):
+            plan_labels([fill(1)])
+
+    def test_two_byte_payload(self):
+        plan = plan_labels([fill(2)])
+        assert len(plan.image) == 2
+        assert simulate_expansion(plan.blob) == plan.image
+
+    def test_field_order_preserved(self):
+        plan = plan_labels([fill(4), fixed(b"ONE"), fill(4), fixed(b"TWO")])
+        assert plan.image.find(b"ONE") < plan.image.find(b"TWO")
+
+
+class TestPlannerChoicesAreMinimal:
+    def test_prefers_fewest_boundaries(self):
+        # 127 fully-slack bytes: 2 labels (63+63) suffice.
+        plan = plan_labels([fill(130)])
+        assert len(plan.labels) == 3  # 63 + 63 + 2? greedy: 64*2=128, rest 2
+
+    def test_fixed_tail_forces_early_boundary(self):
+        plan = plan_labels([fill(80), fixed(b"T" * 40)])
+        # The last boundary must sit in the slack but cover the 40-byte tail.
+        last = plan.boundaries[-1]
+        assert last < 80
+        assert last + 1 + plan.image[last] == len(plan.image)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    slack=st.integers(min_value=1, max_value=8),
+    island=st.integers(min_value=1, max_value=55),
+    repeats=st.integers(min_value=1, max_value=10),
+)
+def test_property_slack_island_alternation_always_plans(slack, island, repeats):
+    # Feasibility requires slack + island <= 64: from any boundary inside a
+    # slack run, the next slack run must start within one max-size label.
+    fields = []
+    for _ in range(repeats):
+        fields.append(fill(slack))
+        fields.append(fixed(b"\xee" * island))
+    plan = plan_labels(fields)
+    expansion = simulate_expansion(plan.blob)
+    assert expansion == plan.image
+    assert expansion.count(b"\xee" * island) >= 1
+
+
+def test_tight_geometry_is_genuinely_unplannable():
+    """slack=2 before a 63-byte island: position 0 must be a boundary, but
+    no label length can reach the next patchable cell — a real limit of
+    the encoding, not of the planner."""
+    with pytest.raises(PlanError):
+        plan_labels([fill(2), fixed(b"\xee" * 63), fill(2), fixed(b"\xee" * 63)])

@@ -1,0 +1,111 @@
+"""§VII lightweight return-address guard."""
+
+import random
+
+from repro.connman import ConnmanDaemon, EventKind
+from repro.core import AttackScenario, attacker_knowledge
+from repro.defenses import NONE, WX_ASLR, ProtectionProfile, ReturnAddressGuard
+from repro.dns import SimpleDnsServer, StubResolver
+from repro.exploit import (
+    ArmRopMemcpyExeclp,
+    X86CodeInjection,
+    X86Ret2Libc,
+    X86RopMemcpyExeclp,
+    deliver,
+)
+from repro.othercves import DNSMASQ, AdaptedService, adapt_exploit, deliver_to_service
+from tests.conftest import fresh_daemon
+
+GUARDED = ProtectionProfile(ret_guard=True)
+GUARDED_FULL = ProtectionProfile(wx=True, aslr=True, ret_guard=True)
+
+
+class TestGuardPrimitive:
+    def test_protect_restore_roundtrip(self):
+        guard = ReturnAddressGuard(random.Random(1))
+        for value in (0, 0x08048123, 0xFFFFFFFF):
+            assert guard.restore(guard.protect(value)) == value
+
+    def test_key_nontrivial(self):
+        for seed in range(32):
+            key = ReturnAddressGuard(random.Random(seed)).key
+            assert key & 0xFFFF and key >> 16
+
+    def test_keys_vary_per_boot(self):
+        keys = {ReturnAddressGuard(random.Random(seed)).key for seed in range(32)}
+        assert len(keys) > 16
+
+    def test_plaintext_decrypts_to_garbage(self):
+        guard = ReturnAddressGuard(random.Random(3))
+        assert guard.restore(0x08048123) != 0x08048123
+
+
+class TestGuardedDaemon:
+    def test_benign_traffic_unaffected(self):
+        daemon = fresh_daemon("x86", profile=GUARDED)
+        upstream = SimpleDnsServer(zone={"ok.example": "1.2.3.4"})
+        result = StubResolver().resolve(
+            lambda packet: daemon.handle_client_query(packet, upstream.handle_query),
+            "ok.example",
+        )
+        assert result.ok and daemon.alive
+
+    def test_ret_slot_holds_ciphertext(self):
+        daemon = fresh_daemon("arm", profile=GUARDED)
+        upstream = SimpleDnsServer(zone={"ok.example": "1.2.3.4"})
+        StubResolver().resolve(
+            lambda packet: daemon.handle_client_query(packet, upstream.handle_query),
+            "ok.example",
+        )
+        place = daemon.proxy.placement()
+        stored = daemon.loaded.process.memory.read_u32(place.ret_slot)
+        assert stored != daemon.loaded.address_of("dnsproxy_resume")
+
+    def test_blocks_code_injection(self):
+        knowledge = attacker_knowledge(AttackScenario("x86", "none", NONE))
+        report = deliver(X86CodeInjection().build(knowledge),
+                         fresh_daemon("x86", profile=GUARDED))
+        assert report.event.kind == EventKind.CRASHED
+        assert not report.got_root_shell
+
+    def test_blocks_ret2libc(self):
+        knowledge = attacker_knowledge(AttackScenario("x86", "W^X", GUARDED))
+        report = deliver(X86Ret2Libc().build(knowledge),
+                         fresh_daemon("x86", profile=GUARDED.with_(wx=True)))
+        assert report.event.kind == EventKind.CRASHED
+
+    def test_blocks_rop_both_arches(self):
+        for arch, builder in (("x86", X86RopMemcpyExeclp()), ("arm", ArmRopMemcpyExeclp())):
+            knowledge = attacker_knowledge(AttackScenario(arch, "full", WX_ASLR))
+            report = deliver(builder.build(knowledge),
+                             fresh_daemon(arch, profile=GUARDED_FULL))
+            assert report.event.kind == EventKind.CRASHED, arch
+
+    def test_degrades_rce_to_dos_not_silence(self):
+        """The guard converts hijack to crash: the device still loses DNS."""
+        knowledge = attacker_knowledge(AttackScenario("x86", "full", WX_ASLR))
+        victim = fresh_daemon("x86", profile=GUARDED_FULL)
+        deliver(X86RopMemcpyExeclp().build(knowledge), victim)
+        assert not victim.alive
+        assert not victim.compromised
+
+    def test_key_redrawn_on_restart(self):
+        daemon = fresh_daemon("x86", profile=GUARDED)
+        first = daemon.proxy.ret_guard.key
+        keys = set()
+        for _ in range(4):
+            daemon.restart()
+            keys.add(daemon.proxy.ret_guard.key)
+        assert keys - {first}
+
+    def test_guard_label(self):
+        assert "ret-guard" in GUARDED.label()
+
+
+class TestGuardedAdaptedServices:
+    def test_guard_blocks_adapted_exploit(self):
+        service = AdaptedService(DNSMASQ, profile=GUARDED)
+        exploit = adapt_exploit(X86CodeInjection(), service, aslr_blind=False)
+        report = deliver_to_service(exploit, service)
+        assert report.event.kind == EventKind.CRASHED
+        assert not report.got_root_shell
