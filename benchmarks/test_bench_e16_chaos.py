@@ -1,0 +1,18 @@
+"""E16 — chaos sweep: degradation, supervision, and attack under faults.
+
+Regenerates the reliability table: fresh answers fall and serve-stale
+rises with the fault rate, and the supervisor's start-limit budget halts
+the brute force that bare init would let succeed.
+"""
+
+from repro.core import e16_chaos
+
+from .conftest import run_experiment_bench
+
+
+def test_bench_e16_chaos(benchmark):
+    result = run_experiment_bench(benchmark, e16_chaos)
+    labels = [row[0] for row in result.rows]
+    assert "(bruteforce, bare init)" in labels
+    assert "(bruteforce, supervised)" in labels
+    benchmark.extra_info["sweep"] = [row[:4] for row in result.rows]

@@ -13,6 +13,7 @@
     python -m repro autogen --arch arm --level wx
     python -m repro bruteforce
     python -m repro offpath --burst 2048
+    python -m repro chaos --rates 0,0.2,0.5
 """
 
 from __future__ import annotations
@@ -43,7 +44,9 @@ from .core import (
     e13_botnet,
     e14_reliability,
     e15_entropy_sweep,
+    e16_chaos,
     render_table,
+    run_chaos_sweep,
     run_paper_matrix,
 )
 from .exploit import (
@@ -76,6 +79,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "E13": e13_botnet,
     "E14": e14_reliability,
     "E15": e15_entropy_sweep,
+    "E16": e16_chaos,
 }
 
 
@@ -243,6 +247,35 @@ def cmd_bruteforce(args) -> int:
     return 0 if result.succeeded else 1
 
 
+def _parse_rates(text: str) -> tuple:
+    try:
+        rates = tuple(float(rate) for rate in text.split(","))
+    except ValueError:
+        raise SystemExit(f"repro chaos: invalid --rates {text!r} "
+                         "(want comma-separated floats, e.g. 0,0.2,0.5)")
+    if any(rate < 0.0 or rate > 1.0 for rate in rates):
+        raise SystemExit(f"repro chaos: --rates values must be in [0, 1], got {text!r}")
+    return rates
+
+
+def cmd_chaos(args) -> int:
+    """Sweep fault rates: client availability vs. attack success."""
+    import json
+
+    rates = _parse_rates(args.rates)
+    report = run_chaos_sweep(
+        rates,
+        seed=args.seed,
+        queries_per_rate=args.queries,
+        attack_budget=args.attack_budget,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.describe())
+    return 0
+
+
 def cmd_offpath(args) -> int:
     profile = WX_ASLR
     knowledge = attacker_knowledge(AttackScenario("arm", "cli", profile))
@@ -312,6 +345,17 @@ def build_parser() -> argparse.ArgumentParser:
     bruteforce.add_argument("--max-attempts", type=int, default=4096)
     bruteforce.add_argument("--seed", type=int, default=99)
     bruteforce.set_defaults(run=cmd_bruteforce)
+
+    chaos = subparsers.add_parser("chaos", help="fault-rate sweep (E16 chaos table)")
+    chaos.add_argument("--rates", default="0,0.2,0.5",
+                       help="comma-separated fault levels, e.g. 0,0.1,0.3")
+    chaos.add_argument("--seed", type=int, default=0xC4A05)
+    chaos.add_argument("--queries", type=int, default=24,
+                       help="client queries per fault level")
+    chaos.add_argument("--attack-budget", type=int, default=32,
+                       help="brute-force attempts per fault level")
+    chaos.add_argument("--json", action="store_true", help="machine-readable output")
+    chaos.set_defaults(run=cmd_chaos)
 
     offpath = subparsers.add_parser("offpath", help="E11 off-path spoofing")
     offpath.add_argument("--burst", type=int, default=2048)

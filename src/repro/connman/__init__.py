@@ -3,8 +3,9 @@
 from .cache import CacheEntry, DnsCache
 from .config import DEFAULT_MAIN_CONF, MainConf, MainConfError, parse_main_conf
 from .gueststore import GuestBackedDnsCache
-from .daemon import ConnmanDaemon
+from .daemon import ConnmanDaemon, Transport
 from .dnsproxy import DnsProxyCore, FramePlacement, MAX_POINTER_JUMPS
+from .supervisor import DaemonSupervisor, RestartRecord
 from .frames import ARM_FRAME, FRAME_MODELS, NAME_BUFFER_SIZE, X86_FRAME, FrameModel, frame_model
 from .outcomes import DaemonEvent, EventKind
 from .services import (
@@ -30,6 +31,7 @@ __all__ = [
     "ConnmanVersion",
     "CVE_ID",
     "DaemonEvent",
+    "DaemonSupervisor",
     "DnsCache",
     "DEFAULT_MAIN_CONF",
     "GuestBackedDnsCache",
@@ -49,7 +51,9 @@ __all__ = [
     "MAX_POINTER_JUMPS",
     "NAME_BUFFER_SIZE",
     "NetworkService",
+    "RestartRecord",
     "ServiceManager",
+    "Transport",
     "ServiceState",
     "ServiceType",
     "strength_from_dbm",

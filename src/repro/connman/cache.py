@@ -52,6 +52,11 @@ class DnsCache:
             return None
         return entry.address
 
+    def get_stale(self, name: str) -> Optional[str]:
+        """Serve-stale lookup: a TTL-expired entry is better than no answer."""
+        entry = self._entries.get(name.lower())
+        return entry.address if entry is not None else None
+
     def __len__(self) -> int:
         return len(self._entries)
 

@@ -10,13 +10,13 @@ no permission change is required" (§III).
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Union
+from typing import Callable, List, Optional, Union
 
 from ..binfmt import LoadedProcess, build_connman, build_libc, load_process
 from ..cpu import NativeFunction
 from ..cpu.events import _EmulationStop
 from ..defenses import NONE, ProtectionProfile, ReturnAddressGuard, ShadowStackCfi, StackCanary
-from ..dns import Message, ResourceRecord, make_response
+from ..dns import Message, ResilientResolver, ResourceRecord, make_response
 from ..mem import AslrPolicy
 from .cache import DnsCache
 from .dnsproxy import DnsProxyCore
@@ -26,7 +26,7 @@ from .outcomes import DaemonEvent, EventKind
 from .version import ConnmanVersion
 
 #: Transport callable: query bytes -> reply bytes (or None on drop/timeout).
-Transport = "callable"
+Transport = Callable[[bytes], Optional[bytes]]
 
 
 def _resume_stop(_ctx):
@@ -133,8 +133,13 @@ class ConnmanDaemon:
             self.crashed = True
         return event
 
-    def handle_client_query(self, packet: bytes, upstream) -> Optional[bytes]:
-        """Full proxy path: local client query -> cache or upstream -> answer."""
+    def handle_client_query(self, packet: bytes, upstream: Transport) -> Optional[bytes]:
+        """Full proxy path: local client query -> cache or upstream -> answer.
+
+        ``upstream`` is any :data:`Transport`; pass a
+        :class:`~repro.dns.ResilientResolver` to get retry/failover and —
+        when every upstream is dark — serve-stale answers from the cache.
+        """
         if not self.alive:
             return None
         try:
@@ -152,6 +157,8 @@ class ConnmanDaemon:
         reply = upstream(packet)
         event = self.handle_upstream_reply(reply, expected_id=self._pending_id)
         if event.kind != EventKind.RESPONDED:
+            if reply is None:
+                return self._stale_answer(query, question.name, upstream)
             return None
         fresh = self.cache.get(question.name)
         if fresh is not None:
@@ -159,6 +166,17 @@ class ConnmanDaemon:
         # Parsed fine but cached under another owner (e.g. a CNAME chain):
         # dnsproxy relays the upstream response to the client verbatim.
         return reply
+
+    def _stale_answer(self, query: Message, name: str,
+                      upstream: Transport) -> Optional[bytes]:
+        """Every upstream was dark: degrade gracefully to an expired entry."""
+        if not (isinstance(upstream, ResilientResolver) and upstream.serve_stale):
+            return None
+        stale = self.cache.get_stale(name)
+        if stale is None:
+            return None
+        upstream.note_stale_serve()
+        return make_response(query, (ResourceRecord.a(name, stale),)).encode()
 
     # -- observability -----------------------------------------------------------------
 

@@ -104,6 +104,15 @@ class GuestBackedDnsCache:
                 return address
         return None
 
+    def get_stale(self, name: str) -> Optional[str]:
+        """Serve-stale lookup: ignore expiry (the entry still lives in .bss
+        until the table is flushed or the process restarts)."""
+        wanted = name.lower()
+        for _offset, entry_name, address, _expiry in self._entries():
+            if entry_name == wanted:
+                return address
+        return None
+
     def clear(self) -> None:
         self.process.memory.write_u8(self.base, 0)
 

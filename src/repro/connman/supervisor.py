@@ -1,0 +1,123 @@
+"""systemd-style supervision of the Connman daemon.
+
+On a real IoT device connmand does not restart itself — init does, and
+*how* it restarts matters to both sides of the paper.  For the defender,
+restart backoff plus a start-limit turns a crash-looping daemon into a
+stopped daemon instead of an infinite retry oracle; for the attacker, the
+same knobs rate-limit the ASLR brute force of §VI (every wrong guess
+costs a crash, every crash costs a restart, and the restart budget is
+finite).
+
+:class:`DaemonSupervisor` models ``Restart=on-failure`` with
+``RestartSec`` exponential backoff and ``StartLimitBurst`` /
+``StartLimitIntervalSec`` semantics over a virtual clock.  Each restart
+goes through :meth:`ConnmanDaemon.boot`, so ASLR re-randomizes and the
+canary/ret-guard keys are redrawn — exactly the fork+exec behavior the
+brute-force math assumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .daemon import ConnmanDaemon
+
+
+@dataclass(frozen=True)
+class RestartRecord:
+    """One supervised restart: when, after what backoff, which boot."""
+
+    at: float
+    backoff: float
+    boot: int
+
+
+class DaemonSupervisor:
+    """Watch one daemon; restart on crash until the start-limit trips."""
+
+    def __init__(
+        self,
+        daemon: ConnmanDaemon,
+        *,
+        restart_delay: float = 1.0,
+        backoff_factor: float = 2.0,
+        max_delay: float = 64.0,
+        start_limit_burst: int = 5,
+        start_limit_interval: float = 300.0,
+    ):
+        self.daemon = daemon
+        self.restart_delay = restart_delay
+        self.backoff_factor = backoff_factor
+        self.max_delay = max_delay
+        self.start_limit_burst = start_limit_burst
+        self.start_limit_interval = start_limit_interval
+        self.clock = 0.0
+        self.gave_up = False
+        self.total_downtime = 0.0
+        self.restarts: List[RestartRecord] = []
+        self._delay = restart_delay
+
+    # -- time -------------------------------------------------------------------
+
+    def tick(self, seconds: float = 1.0) -> None:
+        """Advance the virtual clock (healthy service time)."""
+        self.clock += seconds
+        self._maybe_reset_backoff()
+
+    def _maybe_reset_backoff(self) -> None:
+        last = self.restarts[-1].at if self.restarts else 0.0
+        if self.clock - last >= self.start_limit_interval:
+            self._delay = self.restart_delay
+
+    # -- supervision ------------------------------------------------------------
+
+    def ensure_running(self) -> bool:
+        """Restart the daemon if it crashed; False once the start-limit hit.
+
+        Mirrors systemd: restarts inside the rolling
+        ``start_limit_interval`` window are counted, and the burst cap
+        puts the unit into a permanent failed state ("start request
+        repeated too quickly").
+        """
+        if self.gave_up:
+            return False
+        if self.daemon.alive:
+            self._maybe_reset_backoff()
+            return True
+        recent = [record for record in self.restarts
+                  if self.clock - record.at < self.start_limit_interval]
+        if len(recent) >= self.start_limit_burst:
+            self.gave_up = True
+            return False
+        self.clock += self._delay
+        self.total_downtime += self._delay
+        self.daemon.restart()  # fresh ASLR draw, fresh canary
+        self.restarts.append(
+            RestartRecord(at=self.clock, backoff=self._delay, boot=self.daemon.boots)
+        )
+        self._delay = min(self._delay * self.backoff_factor, self.max_delay)
+        return True
+
+    # -- observability ----------------------------------------------------------
+
+    @property
+    def restart_count(self) -> int:
+        return len(self.restarts)
+
+    def availability(self) -> float:
+        """Uptime fraction over the virtual clock (1.0 before any downtime)."""
+        if self.clock <= 0.0:
+            return 1.0
+        return max(0.0, 1.0 - self.total_downtime / self.clock)
+
+    def describe(self) -> str:
+        state = (
+            "start-limit hit, unit failed" if self.gave_up
+            else ("running" if self.daemon.alive else "down")
+        )
+        return (
+            f"supervisor[{self.daemon.name}]: {state}, "
+            f"{self.restart_count} restarts, next delay {self._delay:.1f}s, "
+            f"availability {self.availability():.3f}"
+        )

@@ -1,0 +1,226 @@
+"""Chaos sweeps: availability, degradation, and attack success under faults.
+
+One sweep point = one fault level.  For each level the harness boots a
+supervised x86 victim (W^X + ASLR), runs a client workload through a
+:class:`~repro.dns.ResilientResolver` whose upstreams sit behind the
+seeded fault fabric (with a scripted total-outage window to exercise
+serve-stale), then runs the §VI ASLR brute force against the same daemon —
+with the attacker's spoofed replies crossing the same lossy fabric and the
+crashed daemon coming back only through the supervisor's restart budget.
+
+Everything is seeded: two sweeps with the same seed produce identical
+:class:`ReliabilityReport`\\ s, byte for byte.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from ..connman import ConnmanDaemon, DaemonSupervisor
+from ..defenses import WX_ASLR
+from ..dns import ResilientResolver, SimpleDnsServer, make_query
+from ..exploit import AslrBruteForcer
+from ..net import FaultPolicy, faulty_transport
+from .report import render_table
+
+#: Client names rotate through this many hosts (so revisits hit the cache).
+NAME_POOL = 6
+#: TTL clock advance per query: entries expire between revisits.
+CLOCK_STEP = 90.0
+#: Resolver timeout against the fault fabric's delay distribution.
+TIMEOUT_MS = 250.0
+
+
+@dataclass(frozen=True)
+class ChaosCell:
+    """One fault level's measurements."""
+
+    fault_rate: float
+    queries: int
+    answered: int
+    stale: int
+    failed: int
+    faults_injected: int
+    restarts: int
+    supervisor_gave_up: bool
+    availability: float
+    attack_attempts: int
+    attack_succeeded: bool
+    attack_halted: bool
+
+    @property
+    def error_rate(self) -> float:
+        return self.failed / self.queries if self.queries else 0.0
+
+    def attack_verdict(self) -> str:
+        if self.attack_succeeded:
+            return f"root shell @{self.attack_attempts}"
+        if self.attack_halted:
+            return f"halted @{self.attack_attempts} (start limit)"
+        return f"no shell ({self.attack_attempts} tries)"
+
+    def row(self) -> Tuple:
+        return (
+            f"{self.fault_rate:.2f}",
+            f"{self.answered}/{self.queries}",
+            self.stale,
+            self.failed,
+            self.restarts,
+            f"{self.availability:.3f}",
+            self.attack_verdict(),
+        )
+
+
+@dataclass
+class ReliabilityReport:
+    """The sweep's full result table (deterministic per seed)."""
+
+    seed: int
+    cells: List[ChaosCell] = field(default_factory=list)
+
+    HEADERS = ("fault rate", "answered", "stale", "failed", "restarts",
+               "availability", "attack")
+
+    def describe(self) -> str:
+        return render_table(
+            self.HEADERS,
+            [cell.row() for cell in self.cells],
+            title=f"chaos sweep (seed {self.seed})",
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "cells": [
+                {
+                    "fault_rate": cell.fault_rate,
+                    "queries": cell.queries,
+                    "answered": cell.answered,
+                    "stale": cell.stale,
+                    "failed": cell.failed,
+                    "faults_injected": cell.faults_injected,
+                    "restarts": cell.restarts,
+                    "supervisor_gave_up": cell.supervisor_gave_up,
+                    "availability": cell.availability,
+                    "attack_attempts": cell.attack_attempts,
+                    "attack_succeeded": cell.attack_succeeded,
+                    "attack_halted": cell.attack_halted,
+                }
+                for cell in self.cells
+            ],
+        }
+
+
+def _chaos_policy(seed: int, level: float) -> FaultPolicy:
+    """The sweep's fault mix at one level (level 0.0 injects nothing)."""
+    return FaultPolicy(
+        seed,
+        drop=0.60 * level,
+        delay=0.25 * level,
+        corrupt=0.10 * level,
+        truncate=0.05 * level,
+        delay_ms=(50.0, 400.0),
+    )
+
+
+def run_chaos_point(
+    level: float,
+    *,
+    seed: int,
+    queries: int = 24,
+    attack_budget: int = 32,
+    entropy_pages: int = 32,
+    start_limit_burst: int = 6,
+) -> ChaosCell:
+    """Measure one fault level: client workload first, then the attack."""
+    # Narrow the victim's ASLR span to the attacker's guess space so the
+    # attack column measures fault/supervision effects, not raw entropy.
+    profile = WX_ASLR.with_(aslr_entropy_pages=entropy_pages)
+    victim = ConnmanDaemon(arch="x86", profile=profile, rng=random.Random(seed))
+    supervisor = DaemonSupervisor(victim, start_limit_burst=start_limit_burst)
+    policy = _chaos_policy(seed + 1, level)
+    legit = SimpleDnsServer(default_address="203.0.113.10")
+    resolver = ResilientResolver(
+        [
+            faulty_transport(legit.handle_query, policy,
+                             src=victim.name, dst=f"ns{index}",
+                             timeout_ms=TIMEOUT_MS)
+            for index in (1, 2)
+        ],
+        retries=1,
+        rng=random.Random(seed + 2),
+    )
+
+    answered = stale = failed = 0
+    # The last quarter of a faulty run is a scripted total outage: both
+    # upstreams dark, so every revisit must degrade to a stale answer.
+    outage_start = queries - max(2, queries // 4) if level > 0 else queries
+    for number in range(queries):
+        if number == outage_start:
+            policy.set_host("ns1", drop=1.0)
+            policy.set_host("ns2", drop=1.0)
+        supervisor.tick(1.0)
+        if not supervisor.ensure_running():
+            failed += queries - number
+            break
+        victim.cache.advance(CLOCK_STEP)
+        packet = make_query(0x3000 + number, f"host{number % NAME_POOL}.chaos.example").encode()
+        stale_before = resolver.stale_served
+        response = victim.handle_client_query(packet, resolver)
+        if response is None:
+            failed += 1
+        elif resolver.stale_served > stale_before:
+            stale += 1
+        else:
+            answered += 1
+
+    attack = AslrBruteForcer(
+        victim,
+        max_attempts=attack_budget,
+        rng=random.Random(seed + 3),
+        entropy_pages=entropy_pages,
+        supervisor=supervisor,
+        reply_faults=policy,
+    ).run()
+
+    return ChaosCell(
+        fault_rate=level,
+        queries=queries,
+        answered=answered,
+        stale=stale,
+        failed=failed,
+        faults_injected=policy.fault_count(),
+        restarts=supervisor.restart_count,
+        supervisor_gave_up=supervisor.gave_up,
+        availability=supervisor.availability(),
+        attack_attempts=attack.attempts,
+        attack_succeeded=attack.succeeded,
+        attack_halted=attack.halted_by_supervisor,
+    )
+
+
+def run_chaos_sweep(
+    rates: Sequence[float] = (0.0, 0.2, 0.5),
+    *,
+    seed: int = 0xC4A05,
+    queries_per_rate: int = 24,
+    attack_budget: int = 32,
+    entropy_pages: int = 32,
+    start_limit_burst: int = 6,
+) -> ReliabilityReport:
+    """Sweep the fault level; each point gets an independent derived seed."""
+    report = ReliabilityReport(seed=seed)
+    for index, level in enumerate(rates):
+        report.cells.append(
+            run_chaos_point(
+                level,
+                seed=seed + 7919 * index,
+                queries=queries_per_rate,
+                attack_budget=attack_budget,
+                entropy_pages=entropy_pages,
+                start_limit_burst=start_limit_burst,
+            )
+        )
+    return report

@@ -643,6 +643,56 @@ def e15_entropy_sweep(runs_per_point: int = 5) -> ExperimentResult:
     return result
 
 
+# -- E16: chaos sweep — resilience & attack success under injected faults ---------
+
+
+def e16_chaos(rates: Sequence[float] = (0.0, 0.2, 0.5),
+              queries_per_rate: int = 24, attack_budget: int = 32) -> ExperimentResult:
+    """Fault-rate sweep plus the supervised-vs-unsupervised brute force."""
+    from ..connman import DaemonSupervisor
+    from ..exploit import AslrBruteForcer
+    from .chaos import run_chaos_sweep
+
+    result = ExperimentResult(
+        "E16", "chaos sweep: availability and attack success under faults",
+        headers=("fault rate", "answered", "stale", "failed", "restarts",
+                 "availability", "attack", "expected"),
+        notes="Faulty upstreams degrade to stale answers; the supervisor's "
+              "start-limit turns the attacker's crash-restart oracle off.",
+    )
+    report = run_chaos_sweep(rates, queries_per_rate=queries_per_rate,
+                             attack_budget=attack_budget)
+    for cell in report.cells:
+        if cell.fault_rate == 0.0:
+            expected = cell.failed == 0 and cell.stale == 0
+        else:
+            expected = cell.answered < cell.queries and (cell.stale + cell.failed) > 0
+        result.rows.append(cell.row() + (_check(expected),))
+
+    # The supervision headline: same victim seed, same guess stream, with
+    # and without init's restart budget.
+    narrowed = WX_ASLR.with_(aslr_entropy_pages=64)
+    free_victim = ConnmanDaemon(arch="x86", profile=narrowed, rng=random.Random(424))
+    free = AslrBruteForcer(free_victim, max_attempts=192,
+                           rng=random.Random(17)).run()
+    capped_victim = ConnmanDaemon(arch="x86", profile=narrowed, rng=random.Random(424))
+    supervisor = DaemonSupervisor(capped_victim, start_limit_burst=8)
+    capped = AslrBruteForcer(capped_victim, max_attempts=192,
+                             rng=random.Random(17), supervisor=supervisor).run()
+    result.rows.append(
+        ("(bruteforce, bare init)", f"{free.attempts} tries", "-", "-",
+         free_victim.boots - 1, "-",
+         "root shell" if free.succeeded else "no shell",
+         _check(free.succeeded)))
+    result.rows.append(
+        ("(bruteforce, supervised)", f"{capped.attempts} tries", "-", "-",
+         supervisor.restart_count, f"{supervisor.availability():.3f}",
+         capped.describe()[:28],
+         _check(capped.halted_by_supervisor and not capped.succeeded
+                and capped.attempts < free.attempts)))
+    return result
+
+
 def run_all() -> List[ExperimentResult]:
     """Every experiment, in DESIGN.md order."""
     return [
@@ -660,4 +710,5 @@ def run_all() -> List[ExperimentResult]:
         e13_botnet(),
         e14_reliability(),
         e15_entropy_sweep(),
+        e16_chaos(),
     ]

@@ -24,6 +24,7 @@ from .records import (
     ip6_to_bytes,
 )
 from .forwarder import CachingForwarder, DelegationPoisoner, PoisoningResult
+from .resolver import ResilientResolver, UpstreamAttempt
 from .server import MAX_CNAME_CHAIN, QueryLogEntry, SimpleDnsServer
 from .zonefile import Zone, ZoneFileError, parse_zone
 
@@ -54,8 +55,10 @@ __all__ = [
     "Rcode",
     "RecordClass",
     "RecordType",
+    "ResilientResolver",
     "ResolveResult",
     "ResourceRecord",
+    "UpstreamAttempt",
     "SimpleDnsServer",
     "skip_name",
     "split_labels",

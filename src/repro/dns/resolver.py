@@ -1,0 +1,121 @@
+"""Resilient upstream resolution: timeouts, retries, failover, serve-stale.
+
+Real dnsproxy deployments sit behind lossy links (the whole §III-D MITM
+story depends on it), yet our proxy path used to assume a single perfect
+upstream.  :class:`ResilientResolver` wraps an ordered list of upstream
+transports with resolv.conf-style semantics: try each upstream in order
+(failover), then start the next retry round after an exponential backoff
+with deterministic jitter.  Time is virtual — timeouts and backoffs
+accumulate on :attr:`clock` instead of sleeping.
+
+Serve-stale (RFC 8767 in spirit): the resolver itself only signals total
+upstream darkness by returning ``None``; the daemon's client-query path
+checks :attr:`serve_stale` and falls back to an expired cache entry, which
+is the graceful-degradation half of the failure model.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from .client import Transport
+
+ANSWERED = "answered"
+TIMEOUT = "timeout"
+
+
+@dataclass(frozen=True)
+class UpstreamAttempt:
+    """One wire attempt: which upstream, which retry round, what happened."""
+
+    upstream: int
+    round: int
+    outcome: str
+    backoff: float = 0.0
+
+
+class ResilientResolver:
+    """Ordered-failover, bounded-retry wrapper over upstream transports.
+
+    Callable with the plain ``Transport`` signature, so it drops into
+    ``ConnmanDaemon.handle_client_query`` (and anything else taking an
+    upstream callable) unchanged.
+    """
+
+    def __init__(
+        self,
+        upstreams: Sequence[Transport],
+        *,
+        retries: int = 2,
+        timeout: float = 2.0,
+        backoff: float = 0.5,
+        jitter: float = 0.25,
+        serve_stale: bool = True,
+        rng: Optional[random.Random] = None,
+    ):
+        if not upstreams:
+            raise ValueError("ResilientResolver needs at least one upstream")
+        self.upstreams = list(upstreams)
+        self.retries = retries
+        self.timeout = timeout
+        self.backoff = backoff
+        self.jitter = jitter
+        self.serve_stale = serve_stale
+        self.rng = rng or random.Random(0x5E17)
+        self.clock = 0.0
+        self.attempt_log: List[UpstreamAttempt] = []
+        self.served = 0
+        self.exhausted = 0
+        self.stale_served = 0
+
+    def __call__(self, packet: bytes) -> Optional[bytes]:
+        return self.resolve(packet)
+
+    def resolve(self, packet: bytes) -> Optional[bytes]:
+        """Failover through every upstream, then retry rounds with backoff."""
+        for round_number in range(1, self.retries + 2):
+            if round_number > 1:
+                self.clock += self._backoff_delay(round_number)
+            for index in range(len(self.upstreams)):
+                reply = self._attempt(packet, index, round_number)
+                if reply is not None:
+                    self.served += 1
+                    return reply
+        self.exhausted += 1
+        return None
+
+    def _attempt(self, packet: bytes, index: int, round_number: int) -> Optional[bytes]:
+        reply = self.upstreams[index](packet)
+        if reply is None:
+            self.clock += self.timeout
+            self.attempt_log.append(
+                UpstreamAttempt(upstream=index, round=round_number, outcome=TIMEOUT)
+            )
+            return None
+        self.attempt_log.append(
+            UpstreamAttempt(upstream=index, round=round_number, outcome=ANSWERED)
+        )
+        return reply
+
+    def _backoff_delay(self, round_number: int) -> float:
+        base = self.backoff * (2 ** (round_number - 2))
+        delay = base + self.rng.uniform(0.0, self.jitter)
+        self.attempt_log.append(
+            UpstreamAttempt(upstream=-1, round=round_number, outcome="backoff",
+                            backoff=delay)
+        )
+        return delay
+
+    def note_stale_serve(self) -> None:
+        """Called by the proxy when a dark-upstream query was answered stale."""
+        self.stale_served += 1
+
+    def describe(self) -> str:
+        return (
+            f"ResilientResolver({len(self.upstreams)} upstreams, "
+            f"retries={self.retries}): {self.served} served, "
+            f"{self.exhausted} exhausted, {self.stale_served} stale, "
+            f"virtual clock {self.clock:.2f}s"
+        )

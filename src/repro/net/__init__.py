@@ -1,6 +1,14 @@
 """Simulated network: hosts, LANs, DHCP, wireless roaming, Wi-Fi Pineapple."""
 
 from .dhcp import DhcpAck, DhcpOffer, DhcpServer, run_handshake
+from .faults import (
+    ChaosSchedule,
+    FaultPolicy,
+    FaultRates,
+    FaultRecord,
+    FaultWindow,
+    faulty_transport,
+)
 from .host import Host, UdpHandler, next_mac
 from .network import Network
 from .packets import DHCP_SERVER_PORT, DNS_PORT, UdpDatagram
@@ -23,6 +31,12 @@ __all__ = [
     "DhcpServer",
     "DHCP_SERVER_PORT",
     "DNS_PORT",
+    "ChaosSchedule",
+    "FaultPolicy",
+    "FaultRates",
+    "FaultRecord",
+    "FaultWindow",
+    "faulty_transport",
     "Host",
     "Network",
     "CapturedPacket",

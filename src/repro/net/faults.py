@@ -1,0 +1,279 @@
+"""Deterministic fault injection for the simulated fabric.
+
+The paper's attacks live on failure behavior: missed ASLR guesses crash
+the daemon, rogue-AP roaming exists because the victim silently fails over
+when its network degrades, and the brute-force economics depend on how
+fast init restarts the service.  This module makes the simulated network
+imperfect on purpose — losing, delaying, duplicating, corrupting, and
+truncating datagrams — while staying fully deterministic: every decision
+flows from one seeded RNG, so two runs with the same seed inject the
+exact same fault trace.
+
+:class:`FaultPolicy` holds the base rates plus per-link and per-host
+overrides and partitions; :class:`ChaosSchedule` scripts time windows of
+different policies over a delivery-tick counter.  Both expose the same
+``process(payload, src=..., dst=...)`` entry point that
+:meth:`repro.net.network.Network.deliver` and :func:`faulty_transport`
+consult.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+#: Fault kinds, in the order the single uniform draw is partitioned.
+DROP = "drop"
+CORRUPT = "corrupt"
+TRUNCATE = "truncate"
+DUPLICATE = "duplicate"
+DELAY = "delay"
+PARTITION = "partition"
+DELIVERED = "delivered"
+
+
+@dataclass(frozen=True)
+class FaultRates:
+    """Per-kind probabilities, each an independent slice of one draw."""
+
+    drop: float = 0.0
+    corrupt: float = 0.0
+    truncate: float = 0.0
+    duplicate: float = 0.0
+    delay: float = 0.0
+
+    def total(self) -> float:
+        return self.drop + self.corrupt + self.truncate + self.duplicate + self.delay
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One injected fault (clean deliveries are only counted, not logged)."""
+
+    kind: str
+    link: str
+    detail: str = ""
+    latency_ms: float = 0.0
+
+
+_CLEAN = FaultRecord(kind=DELIVERED, link="")
+
+
+class FaultPolicy:
+    """Seeded fault decisions: same seed, same traffic — same fault trace."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        drop: float = 0.0,
+        corrupt: float = 0.0,
+        truncate: float = 0.0,
+        duplicate: float = 0.0,
+        delay: float = 0.0,
+        delay_ms: Tuple[float, float] = (50.0, 400.0),
+    ):
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.base = FaultRates(drop=drop, corrupt=corrupt, truncate=truncate,
+                               duplicate=duplicate, delay=delay)
+        self.delay_ms = delay_ms
+        self._link_rates: Dict[Tuple[str, str], FaultRates] = {}
+        self._host_rates: Dict[str, FaultRates] = {}
+        self._partitions: List[Tuple[Set[str], Set[str]]] = []
+        self.decisions = 0
+        self.trace: List[FaultRecord] = []
+
+    # -- scoped overrides -------------------------------------------------------
+
+    def set_link(self, src: str, dst: str, **rates) -> None:
+        """Override rates for one directed link (wins over host and base)."""
+        self._link_rates[(src, dst)] = replace(FaultRates(), **rates)
+
+    def set_host(self, host: str, **rates) -> None:
+        """Override rates for any traffic touching ``host`` (wins over base)."""
+        self._host_rates[host] = replace(FaultRates(), **rates)
+
+    def partition(self, group_a: Set[str], group_b: Set[str]) -> None:
+        """Sever all traffic between the two host groups (both directions)."""
+        self._partitions.append((set(group_a), set(group_b)))
+
+    def heal_partitions(self) -> None:
+        self._partitions.clear()
+
+    def rates_for(self, src: str, dst: str) -> FaultRates:
+        if (src, dst) in self._link_rates:
+            return self._link_rates[(src, dst)]
+        if src in self._host_rates:
+            return self._host_rates[src]
+        if dst in self._host_rates:
+            return self._host_rates[dst]
+        return self.base
+
+    def _partitioned(self, src: str, dst: str) -> bool:
+        for group_a, group_b in self._partitions:
+            if (src in group_a and dst in group_b) or (src in group_b and dst in group_a):
+                return True
+        return False
+
+    # -- the decision point -----------------------------------------------------
+
+    def process(self, payload: bytes, *, src: str = "?", dst: str = "?"
+                ) -> Tuple[Optional[bytes], FaultRecord]:
+        """Decide one delivery's fate: (possibly mangled payload, record).
+
+        Returns ``(None, record)`` when the datagram is lost outright.  A
+        ``delay`` fault delivers the payload but stamps ``latency_ms`` —
+        callers with a timeout treat excessive latency as a loss.
+        """
+        self.decisions += 1
+        link = f"{src}->{dst}"
+        if self._partitioned(src, dst):
+            record = FaultRecord(kind=PARTITION, link=link, detail="partitioned")
+            self.trace.append(record)
+            return None, record
+        rates = self.rates_for(src, dst)
+        draw = self.rng.random()
+        if draw < rates.drop:
+            record = FaultRecord(kind=DROP, link=link)
+            self.trace.append(record)
+            return None, record
+        draw -= rates.drop
+        if draw < rates.corrupt:
+            mangled, detail = self._corrupt(payload)
+            record = FaultRecord(kind=CORRUPT, link=link, detail=detail)
+            self.trace.append(record)
+            return mangled, record
+        draw -= rates.corrupt
+        if draw < rates.truncate:
+            cut = self.rng.randrange(len(payload)) if payload else 0
+            record = FaultRecord(kind=TRUNCATE, link=link, detail=f"cut to {cut} bytes")
+            self.trace.append(record)
+            return payload[:cut], record
+        draw -= rates.truncate
+        if draw < rates.duplicate:
+            record = FaultRecord(kind=DUPLICATE, link=link)
+            self.trace.append(record)
+            return payload, record
+        draw -= rates.duplicate
+        if draw < rates.delay:
+            latency = self.rng.uniform(*self.delay_ms)
+            record = FaultRecord(kind=DELAY, link=link, latency_ms=latency,
+                                 detail=f"{latency:.0f}ms")
+            self.trace.append(record)
+            return payload, record
+        return payload, _CLEAN
+
+    def _corrupt(self, payload: bytes) -> Tuple[bytes, str]:
+        if not payload:
+            return payload, "empty"
+        mangled = bytearray(payload)
+        flips = min(len(mangled), 1 + self.rng.randrange(3))
+        positions = sorted(self.rng.randrange(len(mangled)) for _ in range(flips))
+        for position in positions:
+            mangled[position] ^= 1 << self.rng.randrange(8)
+        return bytes(mangled), f"flipped bits at {positions}"
+
+    def fault_count(self) -> int:
+        return len(self.trace)
+
+    def describe(self) -> str:
+        kinds: Dict[str, int] = {}
+        for record in self.trace:
+            kinds[record.kind] = kinds.get(record.kind, 0) + 1
+        summary = ", ".join(f"{kind}={count}" for kind, count in sorted(kinds.items()))
+        return (f"FaultPolicy(seed={self.seed}): {self.decisions} deliveries, "
+                f"{len(self.trace)} faults ({summary or 'none'})")
+
+
+@dataclass
+class FaultWindow:
+    """One scripted window of policy, inclusive start / exclusive end tick."""
+
+    start: int
+    end: int
+    policy: FaultPolicy
+
+    def covers(self, tick: int) -> bool:
+        return self.start <= tick < self.end
+
+
+class ChaosSchedule:
+    """Scripted fault windows over a delivery-tick counter.
+
+    Each ``process`` call advances one tick and routes the datagram to the
+    policy of the innermost (latest-added) active window, or to the base
+    policy — or injects nothing when no window covers the tick and no base
+    is set.  Exposes the same interface as :class:`FaultPolicy`, so a
+    schedule can sit anywhere a policy can.
+    """
+
+    def __init__(self, base: Optional[FaultPolicy] = None):
+        self.base = base
+        self.windows: List[FaultWindow] = []
+        self.tick = 0
+
+    def add_window(self, start: int, end: int, policy: FaultPolicy) -> "ChaosSchedule":
+        self.windows.append(FaultWindow(start=start, end=end, policy=policy))
+        return self
+
+    def policy_at(self, tick: int) -> Optional[FaultPolicy]:
+        for window in reversed(self.windows):
+            if window.covers(tick):
+                return window.policy
+        return self.base
+
+    def process(self, payload: bytes, *, src: str = "?", dst: str = "?"
+                ) -> Tuple[Optional[bytes], FaultRecord]:
+        policy = self.policy_at(self.tick)
+        self.tick += 1
+        if policy is None:
+            return payload, _CLEAN
+        return policy.process(payload, src=src, dst=dst)
+
+    @property
+    def trace(self) -> List[FaultRecord]:
+        merged = [] if self.base is None else list(self.base.trace)
+        for window in self.windows:
+            if window.policy is not self.base:
+                merged += window.policy.trace
+        return merged
+
+    def describe(self) -> str:
+        spans = ", ".join(f"[{w.start},{w.end})" for w in self.windows)
+        return f"ChaosSchedule(tick={self.tick}, windows={spans or 'none'})"
+
+
+def faulty_transport(
+    upstream: Callable[[bytes], Optional[bytes]],
+    policy: FaultPolicy,
+    *,
+    src: str = "client",
+    dst: str = "upstream",
+    timeout_ms: Optional[float] = None,
+) -> Callable[[bytes], Optional[bytes]]:
+    """Wrap a request/reply transport so both legs cross the fault fabric.
+
+    A dropped (or partitioned) leg returns ``None``; a delayed leg whose
+    latency exceeds ``timeout_ms`` is indistinguishable from a loss to the
+    caller, which is exactly how a resolver experiences it.
+    """
+
+    def transport(packet: bytes) -> Optional[bytes]:
+        sent, record = policy.process(packet, src=src, dst=dst)
+        if sent is None:
+            return None
+        if timeout_ms is not None and record.latency_ms > timeout_ms:
+            return None
+        reply = upstream(sent)
+        if reply is None:
+            return None
+        received, record = policy.process(reply, src=dst, dst=src)
+        if received is None:
+            return None
+        if timeout_ms is not None and record.latency_ms > timeout_ms:
+            return None
+        return received
+
+    return transport

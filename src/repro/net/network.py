@@ -2,18 +2,27 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
+from .faults import DUPLICATE, ChaosSchedule, FaultPolicy
 from .host import Host
 from .packets import UdpDatagram
 
 
 class Network:
-    """One LAN segment with a /24-ish address pool."""
+    """One LAN segment with a /24-ish address pool.
 
-    def __init__(self, name: str, subnet_prefix: str = "192.168.1"):
+    When ``faults`` is set (a :class:`FaultPolicy` or a
+    :class:`ChaosSchedule`), every delivery leg — request and reply —
+    crosses the fault fabric; with the default ``None`` the fabric is the
+    original perfect synchronous wire.
+    """
+
+    def __init__(self, name: str, subnet_prefix: str = "192.168.1",
+                 faults: Optional[Union[FaultPolicy, ChaosSchedule]] = None):
         self.name = name
         self.subnet_prefix = subnet_prefix
+        self.faults = faults
         self._hosts: Dict[str, Host] = {}
         self._next_host_number = 100
         self.traffic: List[UdpDatagram] = []
@@ -59,13 +68,29 @@ class Network:
         log, so taps see the whole exchange.
         """
         self.traffic.append(datagram)
+        payload = datagram.payload
+        duplicated = False
+        if self.faults is not None:
+            payload, record = self.faults.process(
+                payload, src=datagram.src_ip, dst=datagram.dst_ip
+            )
+            if payload is None:
+                return None
+            duplicated = record.kind == DUPLICATE
         destination = self.host_by_ip(datagram.dst_ip)
         if destination is None:
             return None
         handler = destination.service_on(datagram.dst_port)
         if handler is None:
             return None
-        response = handler(datagram.payload, datagram)
+        response = handler(payload, datagram)
+        if duplicated:
+            # The copy arrives too; the first answer already won the socket.
+            handler(payload, datagram)
+        if response is not None and self.faults is not None:
+            response, _record = self.faults.process(
+                response, src=datagram.dst_ip, dst=datagram.src_ip
+            )
         if response is not None:
             self.traffic.append(
                 UdpDatagram(

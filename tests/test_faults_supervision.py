@@ -1,0 +1,347 @@
+"""The resilience layer: fault fabric, supervision, resilient resolution."""
+
+import random
+
+import pytest
+
+from repro.connman import ConnmanDaemon, DaemonSupervisor
+from repro.defenses import NONE, WX_ASLR
+from repro.dns import (
+    ResilientResolver,
+    SimpleDnsServer,
+    StubResolver,
+    make_query,
+)
+from repro.exploit import AslrBruteForcer
+from repro.net import (
+    ChaosSchedule,
+    DNS_PORT,
+    FaultPolicy,
+    Host,
+    Network,
+    faulty_transport,
+)
+
+
+def lan_with_dns(zone=None, faults=None):
+    network = Network("lan", subnet_prefix="10.0.0", faults=faults)
+    server_host = Host("dns")
+    network.attach(server_host, ip="10.0.0.1")
+    dns = SimpleDnsServer(zone=zone or {"a.example": "1.2.3.4"})
+    server_host.bind_udp(DNS_PORT, lambda payload, _dgram: dns.handle_query(payload))
+    return network, server_host, dns
+
+
+class TestFaultPolicy:
+    def test_no_rates_is_a_perfect_wire(self):
+        policy = FaultPolicy(seed=1)
+        for _ in range(100):
+            payload, record = policy.process(b"hello", src="a", dst="b")
+            assert payload == b"hello"
+            assert record.kind == "delivered"
+        assert policy.trace == []
+
+    def test_same_seed_same_fault_trace(self):
+        def trace_for(seed):
+            policy = FaultPolicy(seed, drop=0.2, corrupt=0.2, truncate=0.1,
+                                 duplicate=0.1, delay=0.2)
+            results = []
+            for number in range(200):
+                payload, _record = policy.process(b"x" * 40, src="a", dst="b")
+                results.append(payload)
+            return policy.trace, results
+
+        first_trace, first_results = trace_for(42)
+        second_trace, second_results = trace_for(42)
+        assert first_trace == second_trace
+        assert first_results == second_results
+        assert first_trace  # rates this high must actually inject something
+        assert trace_for(43)[0] != first_trace
+
+    def test_drop_rate_one_loses_everything(self):
+        policy = FaultPolicy(seed=0, drop=1.0)
+        payload, record = policy.process(b"data", src="a", dst="b")
+        assert payload is None
+        assert record.kind == "drop"
+
+    def test_corrupt_changes_payload_same_length(self):
+        policy = FaultPolicy(seed=3, corrupt=1.0)
+        payload, record = policy.process(b"A" * 64, src="a", dst="b")
+        assert record.kind == "corrupt"
+        assert len(payload) == 64
+        assert payload != b"A" * 64
+
+    def test_truncate_shortens(self):
+        policy = FaultPolicy(seed=3, truncate=1.0)
+        payload, record = policy.process(b"B" * 64, src="a", dst="b")
+        assert record.kind == "truncate"
+        assert len(payload) < 64
+
+    def test_partition_severs_both_directions(self):
+        policy = FaultPolicy(seed=0)
+        policy.partition({"10.0.0.1"}, {"10.0.0.100"})
+        assert policy.process(b"x", src="10.0.0.100", dst="10.0.0.1")[0] is None
+        assert policy.process(b"x", src="10.0.0.1", dst="10.0.0.100")[0] is None
+        assert policy.process(b"x", src="10.0.0.2", dst="10.0.0.1")[0] == b"x"
+        policy.heal_partitions()
+        assert policy.process(b"x", src="10.0.0.100", dst="10.0.0.1")[0] == b"x"
+
+    def test_link_override_beats_host_and_base(self):
+        policy = FaultPolicy(seed=0, drop=1.0)
+        policy.set_host("10.0.0.9", drop=1.0)
+        policy.set_link("10.0.0.9", "10.0.0.1", drop=0.0)
+        assert policy.process(b"x", src="10.0.0.9", dst="10.0.0.1")[0] == b"x"
+        assert policy.process(b"x", src="10.0.0.1", dst="10.0.0.9")[0] is None
+
+
+class TestNetworkFaults:
+    def test_default_network_unchanged(self):
+        network, _host, _dns = lan_with_dns()
+        client = Host("client")
+        network.attach(client)
+        result = StubResolver().resolve(
+            lambda packet: client.send_udp("10.0.0.1", DNS_PORT, packet),
+            "a.example",
+        )
+        assert result.address == "1.2.3.4"
+
+    def test_dropping_fabric_times_out_queries(self):
+        network, _host, _dns = lan_with_dns(faults=FaultPolicy(seed=1, drop=1.0))
+        client = Host("client")
+        network.attach(client)
+        reply = client.send_udp("10.0.0.1", DNS_PORT, make_query(1, "a.example").encode())
+        assert reply is None
+
+    def test_partitioned_hosts_cannot_talk(self):
+        policy = FaultPolicy(seed=1)
+        network, _host, dns = lan_with_dns(faults=policy)
+        client = Host("client")
+        client_ip = network.attach(client)
+        policy.partition({client_ip}, {"10.0.0.1"})
+        reply = client.send_udp("10.0.0.1", DNS_PORT, make_query(2, "a.example").encode())
+        assert reply is None
+        assert dns.log == []  # never even reached the server
+
+    def test_chaos_schedule_windows(self):
+        outage = FaultPolicy(seed=1, drop=1.0)
+        schedule = ChaosSchedule().add_window(2, 4, outage)
+        network, _host, _dns = lan_with_dns(faults=schedule)
+        client = Host("client")
+        network.attach(client)
+
+        def ask(number):
+            return client.send_udp("10.0.0.1", DNS_PORT,
+                                   make_query(number, "a.example").encode())
+
+        # A clean exchange burns two ticks (request + reply leg); a dropped
+        # request burns one.  Window [2, 4) therefore kills two queries.
+        assert ask(1) is not None   # ticks 0-1: before the window
+        assert ask(2) is None       # tick 2: request leg dropped
+        assert ask(3) is None       # tick 3: still inside the window
+        assert ask(4) is not None   # ticks 4-5: window passed
+        assert len(outage.trace) == 2
+
+
+class TestResilientResolver:
+    def test_failover_before_retry_ordering(self):
+        calls = []
+
+        def dark(packet):
+            calls.append("dark")
+            return None
+
+        answers = SimpleDnsServer(zone={"a.example": "9.9.9.9"})
+
+        def bright(packet):
+            calls.append("bright")
+            return answers.handle_query(packet)
+
+        resolver = ResilientResolver([dark, bright], retries=2, rng=random.Random(1))
+        reply = resolver(make_query(7, "a.example").encode())
+        assert reply is not None
+        # Failover reaches upstream 1 in round 1; no retry round needed.
+        assert calls == ["dark", "bright"]
+        assert [(a.upstream, a.round, a.outcome) for a in resolver.attempt_log] == [
+            (0, 1, "timeout"), (1, 1, "answered"),
+        ]
+
+    def test_exhaustion_walks_every_round(self):
+        resolver = ResilientResolver([lambda _p: None, lambda _p: None],
+                                     retries=1, rng=random.Random(1))
+        assert resolver(make_query(8, "a.example").encode()) is None
+        wire = [(a.upstream, a.round) for a in resolver.attempt_log if a.upstream >= 0]
+        assert wire == [(0, 1), (1, 1), (0, 2), (1, 2)]
+        backoffs = [a for a in resolver.attempt_log if a.outcome == "backoff"]
+        assert len(backoffs) == 1 and backoffs[0].backoff > 0
+        assert resolver.exhausted == 1
+        assert resolver.clock >= 4 * resolver.timeout
+
+    def test_recovers_through_fault_fabric(self):
+        policy = FaultPolicy(seed=5, drop=0.6)
+        dns = SimpleDnsServer(zone={"a.example": "9.9.9.9"})
+        resolver = ResilientResolver(
+            [faulty_transport(dns.handle_query, policy, dst=f"ns{i}")
+             for i in (1, 2)],
+            retries=3, rng=random.Random(2),
+        )
+        served = sum(
+            1 for number in range(20)
+            if resolver(make_query(number, "a.example").encode()) is not None
+        )
+        assert served >= 15  # retries + failover beat a 60% loss fabric
+        assert served > 20 * 0.16 * 2  # far better than one lossy try would do
+        assert any(a.outcome == "timeout" for a in resolver.attempt_log)
+
+
+class TestServeStale:
+    def fresh_daemon(self):
+        return ConnmanDaemon(arch="x86", profile=NONE, rng=random.Random(1))
+
+    def test_stale_answer_when_upstreams_dark(self):
+        daemon = self.fresh_daemon()
+        live = SimpleDnsServer(zone={"a.example": "1.2.3.4"})
+        warm = ResilientResolver([live.handle_query], retries=0)
+        assert daemon.handle_client_query(make_query(1, "a.example").encode(), warm)
+
+        daemon.cache.advance(10_000)  # entry now TTL-expired
+        dark = ResilientResolver([lambda _p: None], retries=0)
+        result = StubResolver().resolve(
+            lambda packet: daemon.handle_client_query(packet, dark), "a.example"
+        )
+        assert result.address == "1.2.3.4"
+        assert dark.stale_served == 1
+
+    def test_serve_stale_opt_out(self):
+        daemon = self.fresh_daemon()
+        live = ResilientResolver([SimpleDnsServer(zone={"a.example": "1.2.3.4"}).handle_query])
+        daemon.handle_client_query(make_query(1, "a.example").encode(), live)
+        daemon.cache.advance(10_000)
+        strict = ResilientResolver([lambda _p: None], retries=0, serve_stale=False)
+        assert daemon.handle_client_query(make_query(2, "a.example").encode(), strict) is None
+
+    def test_no_stale_for_plain_transport(self):
+        daemon = self.fresh_daemon()
+        live = SimpleDnsServer(zone={"a.example": "1.2.3.4"})
+        daemon.handle_client_query(make_query(1, "a.example").encode(), live.handle_query)
+        daemon.cache.advance(10_000)
+        assert daemon.handle_client_query(
+            make_query(2, "a.example").encode(), lambda _p: None
+        ) is None
+
+    def test_nothing_cached_means_no_answer(self):
+        daemon = self.fresh_daemon()
+        dark = ResilientResolver([lambda _p: None], retries=0)
+        assert daemon.handle_client_query(
+            make_query(3, "never-seen.example").encode(), dark
+        ) is None
+
+
+class TestSupervisor:
+    def crashing_daemon(self):
+        daemon = ConnmanDaemon(arch="x86", profile=WX_ASLR, rng=random.Random(2))
+        daemon.crashed = True
+        return daemon
+
+    def test_restarts_with_exponential_backoff(self):
+        daemon = self.crashing_daemon()
+        supervisor = DaemonSupervisor(daemon, restart_delay=1.0, backoff_factor=2.0,
+                                      start_limit_burst=4)
+        boots = daemon.boots
+        assert supervisor.ensure_running()
+        assert daemon.boots == boots + 1
+        daemon.crashed = True
+        assert supervisor.ensure_running()
+        delays = [record.backoff for record in supervisor.restarts]
+        assert delays == [1.0, 2.0]
+        assert supervisor.total_downtime == 3.0
+
+    def test_crash_loop_budget_exhaustion(self):
+        daemon = self.crashing_daemon()
+        supervisor = DaemonSupervisor(daemon, start_limit_burst=3,
+                                      start_limit_interval=1_000.0)
+        for _ in range(3):
+            assert supervisor.ensure_running()
+            daemon.crashed = True
+        assert not supervisor.ensure_running()  # start-limit hit
+        assert supervisor.gave_up
+        assert not supervisor.ensure_running()  # and it stays failed
+        assert daemon.boots == 4  # initial boot + 3 supervised restarts
+
+    def test_quiet_period_resets_the_burst_window(self):
+        daemon = self.crashing_daemon()
+        supervisor = DaemonSupervisor(daemon, start_limit_burst=2,
+                                      start_limit_interval=50.0)
+        for _ in range(2):
+            assert supervisor.ensure_running()
+            daemon.crashed = True
+        supervisor.tick(100.0)  # a long healthy stretch
+        assert supervisor.ensure_running()  # window rolled: budget refreshed
+        assert not supervisor.gave_up
+        assert supervisor.restarts[-1].backoff == supervisor.restart_delay
+
+    def test_aslr_redraws_per_restart(self):
+        daemon = self.crashing_daemon()
+        supervisor = DaemonSupervisor(daemon, start_limit_burst=10)
+        bases = set()
+        for _ in range(6):
+            assert supervisor.ensure_running()
+            bases.add(daemon.loaded.layout.libc_base)
+            daemon.crashed = True
+        assert len(bases) > 1
+
+
+class TestSupervisedBruteForce:
+    def test_budget_halts_the_attack(self):
+        profile = WX_ASLR.with_(aslr_entropy_pages=64)
+        free_victim = ConnmanDaemon(arch="x86", profile=profile, rng=random.Random(424))
+        free = AslrBruteForcer(free_victim, max_attempts=192,
+                               rng=random.Random(17)).run()
+        assert free.succeeded
+
+        capped_victim = ConnmanDaemon(arch="x86", profile=profile, rng=random.Random(424))
+        supervisor = DaemonSupervisor(capped_victim, start_limit_burst=8)
+        capped = AslrBruteForcer(capped_victim, max_attempts=192,
+                                 rng=random.Random(17), supervisor=supervisor).run()
+        assert not capped.succeeded
+        assert capped.halted_by_supervisor
+        assert capped.attempts < free.attempts
+        assert "start-limit" in capped.describe()
+        assert supervisor.gave_up
+
+    def test_reply_faults_burn_attempts_without_crashes(self):
+        profile = WX_ASLR.with_(aslr_entropy_pages=64)
+        victim = ConnmanDaemon(arch="x86", profile=profile, rng=random.Random(5))
+        lossy = FaultPolicy(seed=9, drop=1.0)
+        result = AslrBruteForcer(victim, max_attempts=12, rng=random.Random(6),
+                                 reply_faults=lossy).run()
+        assert not result.succeeded
+        assert result.outcomes == ["lost"] * 12
+        assert victim.boots == 1  # nothing ever reached the parser
+
+
+class TestChaosSweep:
+    def test_same_seed_same_report(self):
+        from repro.core import run_chaos_sweep
+
+        first = run_chaos_sweep((0.0, 0.4), seed=77, queries_per_rate=10,
+                                attack_budget=12)
+        second = run_chaos_sweep((0.0, 0.4), seed=77, queries_per_rate=10,
+                                 attack_budget=12)
+        assert first.to_dict() == second.to_dict()
+
+    def test_clean_point_has_no_degradation(self):
+        from repro.core import run_chaos_point
+
+        cell = run_chaos_point(0.0, seed=3, queries=10, attack_budget=8)
+        assert cell.failed == 0
+        assert cell.stale == 0
+        assert cell.answered == cell.queries
+        assert cell.faults_injected == 0
+
+    def test_faulty_point_degrades_gracefully(self):
+        from repro.core import run_chaos_point
+
+        cell = run_chaos_point(0.5, seed=3, queries=16, attack_budget=8)
+        assert cell.faults_injected > 0
+        assert cell.answered < cell.queries
+        assert cell.stale + cell.failed > 0
