@@ -14,6 +14,7 @@ Layers (bottom to top):
 * :mod:`repro.defenses`  — W^X/ASLR profiles, canary, CFI, software diversity
 * :mod:`repro.exploit`   — payload planner, shellcode, gadget finder, builders
 * :mod:`repro.othercves` — §V adaptation targets (dnsmasq/systemd/HTTP/TCP)
+* :mod:`repro.obs`       — event tracing, metrics, pcap-text capture export
 * :mod:`repro.core`      — the paper's experiments E1–E8
 
 Quickstart::

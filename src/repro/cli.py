@@ -14,6 +14,9 @@
     python -m repro bruteforce
     python -m repro offpath --burst 2048
     python -m repro chaos --rates 0,0.2,0.5
+    python -m repro trace-events --json     # observed chaos point: event trace
+    python -m repro metrics --json          # same run, metrics registry
+    python -m repro pcap                    # faulty LAN capture, reprocap text
 """
 
 from __future__ import annotations
@@ -262,17 +265,98 @@ def cmd_chaos(args) -> int:
     """Sweep fault rates: client availability vs. attack success."""
     import json
 
+    from .obs import Collector
+
     rates = _parse_rates(args.rates)
     report = run_chaos_sweep(
         rates,
         seed=args.seed,
         queries_per_rate=args.queries,
         attack_budget=args.attack_budget,
+        observer=Collector(),
     )
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
     else:
         print(report.describe())
+    return 0
+
+
+def _observed_chaos_run(args):
+    """One observed chaos point: the CLI's canonical traced scenario."""
+    from .core import run_chaos_point
+    from .obs import Collector
+
+    collector = Collector()
+    cell = run_chaos_point(
+        args.level,
+        seed=args.seed,
+        queries=args.queries,
+        attack_budget=args.attack_budget,
+        observer=collector,
+    )
+    return cell, collector
+
+
+def _add_observed_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--level", type=float, default=0.3,
+                        help="fault level for the observed run")
+    parser.add_argument("--seed", type=int, default=0xB5EC)
+    parser.add_argument("--queries", type=int, default=16)
+    parser.add_argument("--attack-budget", type=int, default=12)
+    parser.add_argument("--json", action="store_true", help="machine-readable output")
+
+
+def cmd_trace_events(args) -> int:
+    """Run an observed chaos point and print its structured event trace."""
+    import json
+
+    _cell, collector = _observed_chaos_run(args)
+    if args.json:
+        print(json.dumps(collector.to_dict(last_events=args.limit), indent=2))
+    else:
+        print(collector.summary())
+        print(collector.bus.describe(last=args.limit))
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    """Run an observed chaos point and print the metrics registry."""
+    import json
+
+    _cell, collector = _observed_chaos_run(args)
+    if args.json:
+        print(json.dumps(collector.metrics.to_dict(), indent=2))
+    else:
+        print(collector.summary())
+        print(collector.metrics.describe())
+    return 0
+
+
+def cmd_pcap(args) -> int:
+    """Capture a faulty LAN exchange and print the reprocap text document."""
+    from .dns import SimpleDnsServer, make_query
+    from .net import DNS_PORT, FaultPolicy, Host, Network
+    from .obs import export_pcap_text, sniff_capture
+
+    policy = FaultPolicy(args.seed, corrupt=args.corrupt, duplicate=args.duplicate)
+    network = Network("capture-lan", subnet_prefix="10.77.0", faults=policy)
+    server = Host("dns-server")
+    network.attach(server, ip="10.77.0.1")
+    dns = SimpleDnsServer(default_address="203.0.113.77")
+    server.bind_udp(DNS_PORT, lambda payload, _dgram: dns.handle_query(payload))
+    client = Host("client")
+    network.attach(client)
+    for number in range(args.queries):
+        query = make_query(0x7000 + number, f"host{number}.capture.example")
+        client.send_udp(server.ip, DNS_PORT, query.encode())
+    text = export_pcap_text(network)
+    if args.sniff:
+        # Round-trip: parse the text document back and re-analyze it.
+        for packet in sniff_capture(text):
+            print(packet.describe())
+    else:
+        print(text, end="")
     return 0
 
 
@@ -356,6 +440,31 @@ def build_parser() -> argparse.ArgumentParser:
                        help="brute-force attempts per fault level")
     chaos.add_argument("--json", action="store_true", help="machine-readable output")
     chaos.set_defaults(run=cmd_chaos)
+
+    trace_events = subparsers.add_parser(
+        "trace-events", help="structured event trace of an observed chaos point")
+    _add_observed_args(trace_events)
+    trace_events.add_argument("--limit", type=int, default=None,
+                              help="show only the last N events")
+    trace_events.set_defaults(run=cmd_trace_events)
+
+    metrics = subparsers.add_parser(
+        "metrics", help="counters/histograms from an observed chaos point")
+    _add_observed_args(metrics)
+    metrics.set_defaults(run=cmd_metrics)
+
+    pcap = subparsers.add_parser(
+        "pcap", help="reprocap text capture of a faulty LAN exchange")
+    pcap.add_argument("--seed", type=int, default=0xCAB)
+    pcap.add_argument("--queries", type=int, default=8)
+    pcap.add_argument("--corrupt", type=float, default=0.25,
+                      help="corrupt rate on the capture LAN")
+    pcap.add_argument("--duplicate", type=float, default=0.25,
+                      help="duplicate rate on the capture LAN")
+    pcap.add_argument("--sniff", action="store_true",
+                      help="round-trip the capture through the sniffer and "
+                           "print the analysis instead of the document")
+    pcap.set_defaults(run=cmd_pcap)
 
     offpath = subparsers.add_parser("offpath", help="E11 off-path spoofing")
     offpath.add_argument("--burst", type=int, default=2048)

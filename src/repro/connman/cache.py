@@ -9,7 +9,10 @@ without touching the upstream server.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs import Collector
 
 
 @dataclass
@@ -23,14 +26,24 @@ class CacheEntry:
 class DnsCache:
     """Name -> address cache with simulated-clock TTL expiry."""
 
-    def __init__(self, max_entries: int = 256):
+    def __init__(self, max_entries: int = 256,
+                 observer: Optional["Collector"] = None):
         self.max_entries = max_entries
+        self.observer = observer
         self._entries: Dict[str, CacheEntry] = {}
         self._clock = 0.0
+
+    def _note(self, kind: str, name: str) -> None:
+        if self.observer is not None:
+            self.observer.emit("cache", f"cache.{kind}", name=name)
+            self.observer.inc(f"cache.{kind}")
 
     def advance(self, seconds: float) -> None:
         """Advance the simulated clock (tests drive expiry this way)."""
         self._clock += seconds
+
+    def _expired(self, entry: CacheEntry) -> bool:
+        return self._clock - entry.stored_at > entry.ttl
 
     def put(self, name: str, address: str, ttl: int = 300) -> None:
         if len(self._entries) >= self.max_entries and name.lower() not in self._entries:
@@ -38,23 +51,39 @@ class DnsCache:
         self._entries[name.lower()] = CacheEntry(
             name=name, address=address, ttl=ttl, stored_at=self._clock
         )
+        self._note("put", name.lower())
 
     def _evict_one(self) -> None:
-        oldest = min(self._entries.values(), key=lambda entry: entry.stored_at)
-        del self._entries[oldest.name.lower()]
+        """Make room for one entry: a dead entry beats a live one.
+
+        A TTL-expired entry is already useless (``get`` would delete it
+        on touch), so evicting the oldest *expired* entry first keeps
+        every still-valid answer cached; only when the whole table is
+        live does the oldest live entry go.
+        """
+        expired = [entry for entry in self._entries.values() if self._expired(entry)]
+        pool = expired or self._entries.values()
+        victim = min(pool, key=lambda entry: entry.stored_at)
+        del self._entries[victim.name.lower()]
+        self._note("evict", victim.name.lower())
 
     def get(self, name: str) -> Optional[str]:
         entry = self._entries.get(name.lower())
         if entry is None:
+            self._note("miss", name.lower())
             return None
-        if self._clock - entry.stored_at > entry.ttl:
+        if self._expired(entry):
             del self._entries[name.lower()]
+            self._note("expire", name.lower())
             return None
+        self._note("hit", name.lower())
         return entry.address
 
     def get_stale(self, name: str) -> Optional[str]:
         """Serve-stale lookup: a TTL-expired entry is better than no answer."""
         entry = self._entries.get(name.lower())
+        if entry is not None:
+            self._note("stale", name.lower())
         return entry.address if entry is not None else None
 
     def __len__(self) -> int:

@@ -10,7 +10,10 @@ no permission change is required" (§III).
 from __future__ import annotations
 
 import random
-from typing import Callable, List, Optional, Union
+from typing import TYPE_CHECKING, Callable, List, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs import Collector
 
 from ..binfmt import LoadedProcess, build_connman, build_libc, load_process
 from ..cpu import NativeFunction
@@ -43,8 +46,10 @@ class ConnmanDaemon:
         profile: ProtectionProfile = NONE,
         rng: Optional[random.Random] = None,
         name: str = "connmand",
+        observer: Optional["Collector"] = None,
     ):
         self.arch = arch
+        self.observer = observer
         self.version = (
             version if isinstance(version, ConnmanVersion) else ConnmanVersion.parse(version)
         )
@@ -95,11 +100,16 @@ class ConnmanDaemon:
         # reservation), so it starts empty on every (re)boot — as it should.
         storage = self.loaded.symbol("dns_cache_storage")
         self.cache = GuestBackedDnsCache(
-            self.loaded.process, storage.address, storage.size
+            self.loaded.process, storage.address, storage.size,
+            observer=self.observer,
         )
         self.boots += 1
         self.crashed = False
         self._pending_id = None
+        if self.observer is not None:
+            kind = "daemon.boot" if self.boots == 1 else "daemon.restart"
+            self.observer.emit("daemon", kind, name=self.name, boot=self.boots)
+            self.observer.inc("daemon.boots")
 
     restart = boot
 
@@ -131,6 +141,15 @@ class ConnmanDaemon:
         elif event.kind in (EventKind.CRASHED, EventKind.HUNG, EventKind.COMPROMISED):
             # Crash, hang, or image replacement: the service stops serving.
             self.crashed = True
+        if self.observer is not None:
+            if event.kind == EventKind.COMPROMISED:
+                self.observer.emit("daemon", "daemon.compromise", name=self.name,
+                                   detail=event.detail[:64])
+                self.observer.inc("daemon.compromises")
+            elif self.crashed:
+                self.observer.emit("daemon", "daemon.crash", name=self.name,
+                                   outcome=event.kind.value, detail=event.detail[:64])
+                self.observer.inc("daemon.crashes")
         return event
 
     def handle_client_query(self, packet: bytes, upstream: Transport) -> Optional[bytes]:

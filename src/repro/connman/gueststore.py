@@ -16,9 +16,12 @@ Entry wire format, packed sequentially from the region start::
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from ..cpu import Process
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs import Collector
 
 ENTRY_OVERHEAD = 1 + 4 + 4
 MAX_NAME = 255
@@ -28,12 +31,19 @@ class GuestBackedDnsCache:
     """Cache with the same interface shape as :class:`DnsCache`, stored in
     a region of the emulated address space."""
 
-    def __init__(self, process: Process, base: int, size: int):
+    def __init__(self, process: Process, base: int, size: int,
+                 observer: Optional["Collector"] = None):
         self.process = process
         self.base = base
         self.size = size
+        self.observer = observer
         self._clock = 0
         self.clear()
+
+    def _note(self, kind: str, name: str = "") -> None:
+        if self.observer is not None:
+            self.observer.emit("cache", f"cache.{kind}", name=name)
+            self.observer.inc(f"cache.{kind}")
 
     # -- clock -------------------------------------------------------------
 
@@ -85,9 +95,14 @@ class GuestBackedDnsCache:
         record_size = ENTRY_OVERHEAD + len(encoded)
         cursor = self._append_offset()
         if cursor + record_size + 1 > self.base + self.size:
-            # Full: evict everything (connman-style wholesale flush).
-            self.clear()
-            cursor = self.base
+            # Full: expired entries die first (they are dead weight the
+            # table is still carrying); only when compaction cannot make
+            # room does the connman-style wholesale flush happen.
+            cursor = self._compact_expired()
+            if cursor + record_size + 1 > self.base + self.size:
+                self.clear()
+                self._note("flush")
+                cursor = self.base
         memory = self.process.memory
         memory.write_u8(cursor, len(encoded))
         memory.write(cursor + 1, encoded)
@@ -95,13 +110,39 @@ class GuestBackedDnsCache:
                      bytes(int(part) for part in address.split(".")))
         memory.write_u32(cursor + 1 + len(encoded) + 4, self._clock + ttl)
         memory.write_u8(cursor + record_size, 0)  # table terminator
+        self._note("put", name.lower())
         return True
+
+    def _compact_expired(self) -> int:
+        """Rewrite the table keeping only live entries; returns the new
+        append offset."""
+        live = [(name, address, expiry)
+                for _offset, name, address, expiry in self._entries()
+                if expiry > self._clock]
+        evicted = len(self._entries()) - len(live)
+        memory = self.process.memory
+        cursor = self.base
+        for name, address, expiry in live:
+            encoded = name.encode("latin-1")
+            memory.write_u8(cursor, len(encoded))
+            memory.write(cursor + 1, encoded)
+            memory.write(cursor + 1 + len(encoded),
+                         bytes(int(part) for part in address.split(".")))
+            memory.write_u32(cursor + 1 + len(encoded) + 4, expiry)
+            cursor += ENTRY_OVERHEAD + len(encoded)
+        memory.write_u8(cursor, 0)
+        if evicted and self.observer is not None:
+            self.observer.emit("cache", "cache.evict", expired=evicted)
+            self.observer.inc("cache.evict", evicted)
+        return cursor
 
     def get(self, name: str) -> Optional[str]:
         wanted = name.lower()
         for _offset, entry_name, address, expiry in self._entries():
             if entry_name == wanted and expiry > self._clock:
+                self._note("hit", wanted)
                 return address
+        self._note("miss", wanted)
         return None
 
     def get_stale(self, name: str) -> Optional[str]:
@@ -110,6 +151,7 @@ class GuestBackedDnsCache:
         wanted = name.lower()
         for _offset, entry_name, address, _expiry in self._entries():
             if entry_name == wanted:
+                self._note("stale", wanted)
                 return address
         return None
 

@@ -19,9 +19,12 @@ brute-force math assumes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import TYPE_CHECKING, List, Optional
 
 from .daemon import ConnmanDaemon
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs import Collector
 
 
 @dataclass(frozen=True)
@@ -45,8 +48,10 @@ class DaemonSupervisor:
         max_delay: float = 64.0,
         start_limit_burst: int = 5,
         start_limit_interval: float = 300.0,
+        observer: Optional["Collector"] = None,
     ):
         self.daemon = daemon
+        self.observer = observer if observer is not None else daemon.observer
         self.restart_delay = restart_delay
         self.backoff_factor = backoff_factor
         self.max_delay = max_delay
@@ -63,6 +68,8 @@ class DaemonSupervisor:
     def tick(self, seconds: float = 1.0) -> None:
         """Advance the virtual clock (healthy service time)."""
         self.clock += seconds
+        if self.observer is not None:
+            self.observer.advance_to(self.clock)
         self._maybe_reset_backoff()
 
     def _maybe_reset_backoff(self) -> None:
@@ -89,13 +96,26 @@ class DaemonSupervisor:
                   if self.clock - record.at < self.start_limit_interval]
         if len(recent) >= self.start_limit_burst:
             self.gave_up = True
+            if self.observer is not None:
+                self.observer.emit("daemon", "supervisor.start_limit",
+                                   name=self.daemon.name,
+                                   restarts=len(self.restarts))
+                self.observer.inc("supervisor.start_limit")
             return False
         self.clock += self._delay
         self.total_downtime += self._delay
+        if self.observer is not None:
+            self.observer.advance_to(self.clock)
         self.daemon.restart()  # fresh ASLR draw, fresh canary
         self.restarts.append(
             RestartRecord(at=self.clock, backoff=self._delay, boot=self.daemon.boots)
         )
+        if self.observer is not None:
+            self.observer.emit("daemon", "supervisor.restart",
+                               name=self.daemon.name, backoff_s=self._delay,
+                               boot=self.daemon.boots)
+            self.observer.inc("supervisor.restarts")
+            self.observer.observe("supervisor.backoff_s", self._delay)
         self._delay = min(self._delay * self.backoff_factor, self.max_delay)
         return True
 

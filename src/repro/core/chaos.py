@@ -16,13 +16,14 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..connman import ConnmanDaemon, DaemonSupervisor
 from ..defenses import WX_ASLR
 from ..dns import ResilientResolver, SimpleDnsServer, make_query
 from ..exploit import AslrBruteForcer
 from ..net import FaultPolicy, faulty_transport
+from ..obs import Collector
 from .report import render_table
 
 #: Client names rotate through this many hosts (so revisits hit the cache).
@@ -79,6 +80,9 @@ class ReliabilityReport:
 
     seed: int
     cells: List[ChaosCell] = field(default_factory=list)
+    #: Metrics summary from the sweep's attached collector (counters +
+    #: histograms over every cell), when the sweep ran observed.
+    metrics: Optional[dict] = None
 
     HEADERS = ("fault rate", "answered", "stale", "failed", "restarts",
                "availability", "attack")
@@ -110,6 +114,7 @@ class ReliabilityReport:
                 }
                 for cell in self.cells
             ],
+            "metrics": self.metrics,
         }
 
 
@@ -133,14 +138,23 @@ def run_chaos_point(
     attack_budget: int = 32,
     entropy_pages: int = 32,
     start_limit_burst: int = 6,
+    observer: Optional[Collector] = None,
 ) -> ChaosCell:
-    """Measure one fault level: client workload first, then the attack."""
+    """Measure one fault level: client workload first, then the attack.
+
+    When ``observer`` is set, the daemon, supervisor, fault fabric, and
+    brute forcer all trace into it — the chaos point becomes the CLI's
+    canonical observed scenario (``repro trace-events`` / ``repro
+    metrics``).
+    """
     # Narrow the victim's ASLR span to the attacker's guess space so the
     # attack column measures fault/supervision effects, not raw entropy.
     profile = WX_ASLR.with_(aslr_entropy_pages=entropy_pages)
-    victim = ConnmanDaemon(arch="x86", profile=profile, rng=random.Random(seed))
+    victim = ConnmanDaemon(arch="x86", profile=profile, rng=random.Random(seed),
+                           observer=observer)
     supervisor = DaemonSupervisor(victim, start_limit_burst=start_limit_burst)
     policy = _chaos_policy(seed + 1, level)
+    policy.observer = observer
     legit = SimpleDnsServer(default_address="203.0.113.10")
     resolver = ResilientResolver(
         [
@@ -209,8 +223,14 @@ def run_chaos_sweep(
     attack_budget: int = 32,
     entropy_pages: int = 32,
     start_limit_burst: int = 6,
+    observer: Optional[Collector] = None,
 ) -> ReliabilityReport:
-    """Sweep the fault level; each point gets an independent derived seed."""
+    """Sweep the fault level; each point gets an independent derived seed.
+
+    Pass (or let the sweep create) a :class:`~repro.obs.Collector` to get
+    a metrics summary on the report; ``observer=None`` keeps the legacy
+    unobserved path byte-identical.
+    """
     report = ReliabilityReport(seed=seed)
     for index, level in enumerate(rates):
         report.cells.append(
@@ -221,6 +241,9 @@ def run_chaos_sweep(
                 attack_budget=attack_budget,
                 entropy_pages=entropy_pages,
                 start_limit_burst=start_limit_burst,
+                observer=observer,
             )
         )
+    if observer is not None:
+        report.metrics = observer.metrics.to_dict()
     return report

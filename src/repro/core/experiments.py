@@ -42,6 +42,9 @@ class ExperimentResult:
     headers: Sequence[str]
     rows: List[Tuple] = field(default_factory=list)
     notes: str = ""
+    #: Metrics summary from an attached :class:`~repro.obs.Collector`
+    #: (counters + histograms), when the experiment ran observed.
+    metrics: Optional[dict] = None
 
     def describe(self) -> str:
         table = render_table(self.headers, self.rows, title=f"{self.experiment_id}: {self.title}")
@@ -54,7 +57,7 @@ class ExperimentResult:
 
     def to_dict(self) -> dict:
         """JSON-serializable form (CLI ``report --json``, dashboards)."""
-        return {
+        payload = {
             "experiment": self.experiment_id,
             "title": self.title,
             "headers": list(self.headers),
@@ -62,6 +65,9 @@ class ExperimentResult:
             "notes": self.notes,
             "all_pass": self.all_pass,
         }
+        if self.metrics is not None:
+            payload["metrics"] = self.metrics
+        return payload
 
 
 def _jsonable(cell):
@@ -651,6 +657,7 @@ def e16_chaos(rates: Sequence[float] = (0.0, 0.2, 0.5),
     """Fault-rate sweep plus the supervised-vs-unsupervised brute force."""
     from ..connman import DaemonSupervisor
     from ..exploit import AslrBruteForcer
+    from ..obs import Collector
     from .chaos import run_chaos_sweep
 
     result = ExperimentResult(
@@ -660,8 +667,10 @@ def e16_chaos(rates: Sequence[float] = (0.0, 0.2, 0.5),
         notes="Faulty upstreams degrade to stale answers; the supervisor's "
               "start-limit turns the attacker's crash-restart oracle off.",
     )
+    collector = Collector()
     report = run_chaos_sweep(rates, queries_per_rate=queries_per_rate,
-                             attack_budget=attack_budget)
+                             attack_budget=attack_budget, observer=collector)
+    result.metrics = collector.metrics.to_dict()
     for cell in report.cells:
         if cell.fault_rate == 0.0:
             expected = cell.failed == 0 and cell.stale == 0

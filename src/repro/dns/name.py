@@ -61,6 +61,12 @@ def decode_name(packet: bytes, offset: int) -> Tuple[str, int]:
     jumps = 0
     cursor = offset
     next_offset = None
+    # RFC 1035 §3.1 caps the *wire* form at 255 octets: one length octet
+    # per label plus the label bytes plus the root terminator.  Track the
+    # uncompressed wire length as labels accumulate so a compressed name
+    # that expands past the limit is rejected exactly where encode_name
+    # would refuse to produce it.
+    wire_length = 1  # the terminating root octet
     while True:
         if cursor >= len(packet):
             raise PointerLoopError(f"name ran past end of packet at offset {cursor}")
@@ -87,10 +93,13 @@ def decode_name(packet: bytes, offset: int) -> Tuple[str, int]:
         if cursor + 1 + length > len(packet):
             raise PointerLoopError("label runs past end of packet")
         labels.append(packet[cursor + 1 : cursor + 1 + length].decode("latin-1"))
+        wire_length += 1 + length
+        if wire_length > MAX_NAME_LENGTH:
+            raise PointerLoopError(
+                f"decoded name exceeds {MAX_NAME_LENGTH} octets on the wire"
+            )
         cursor += 1 + length
     name = ".".join(labels)
-    if len(name) > MAX_NAME_LENGTH:
-        raise PointerLoopError(f"decoded name exceeds {MAX_NAME_LENGTH} characters")
     assert next_offset is not None
     return name, next_offset
 

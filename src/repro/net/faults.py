@@ -21,7 +21,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs import Collector
 
 #: Fault kinds, in the order the single uniform draw is partitioned.
 DROP = "drop"
@@ -73,8 +76,10 @@ class FaultPolicy:
         duplicate: float = 0.0,
         delay: float = 0.0,
         delay_ms: Tuple[float, float] = (50.0, 400.0),
+        observer: Optional["Collector"] = None,
     ):
         self.seed = seed
+        self.observer = observer
         self.rng = random.Random(seed)
         self.base = FaultRates(drop=drop, corrupt=corrupt, truncate=truncate,
                                duplicate=duplicate, delay=delay)
@@ -119,6 +124,18 @@ class FaultPolicy:
 
     # -- the decision point -----------------------------------------------------
 
+    def _record(self, record: FaultRecord) -> FaultRecord:
+        """Log one injected fault to the trace and the observer (if any)."""
+        self.trace.append(record)
+        if self.observer is not None:
+            self.observer.emit("fault", f"fault.{record.kind}",
+                               link=record.link, detail=record.detail)
+            self.observer.inc("faults.injected")
+            self.observer.inc(f"faults.{record.kind}")
+            if record.kind == DELAY:
+                self.observer.observe("fault.latency_ms", record.latency_ms)
+        return record
+
     def process(self, payload: bytes, *, src: str = "?", dst: str = "?"
                 ) -> Tuple[Optional[bytes], FaultRecord]:
         """Decide one delivery's fate: (possibly mangled payload, record).
@@ -128,40 +145,39 @@ class FaultPolicy:
         callers with a timeout treat excessive latency as a loss.
         """
         self.decisions += 1
+        if self.observer is not None:
+            self.observer.inc("faults.decisions")
         link = f"{src}->{dst}"
         if self._partitioned(src, dst):
-            record = FaultRecord(kind=PARTITION, link=link, detail="partitioned")
-            self.trace.append(record)
+            record = self._record(FaultRecord(kind=PARTITION, link=link,
+                                              detail="partitioned"))
             return None, record
         rates = self.rates_for(src, dst)
         draw = self.rng.random()
         if draw < rates.drop:
-            record = FaultRecord(kind=DROP, link=link)
-            self.trace.append(record)
+            record = self._record(FaultRecord(kind=DROP, link=link))
             return None, record
         draw -= rates.drop
         if draw < rates.corrupt:
             mangled, detail = self._corrupt(payload)
-            record = FaultRecord(kind=CORRUPT, link=link, detail=detail)
-            self.trace.append(record)
+            record = self._record(FaultRecord(kind=CORRUPT, link=link, detail=detail))
             return mangled, record
         draw -= rates.corrupt
         if draw < rates.truncate:
             cut = self.rng.randrange(len(payload)) if payload else 0
-            record = FaultRecord(kind=TRUNCATE, link=link, detail=f"cut to {cut} bytes")
-            self.trace.append(record)
+            record = self._record(FaultRecord(kind=TRUNCATE, link=link,
+                                              detail=f"cut to {cut} bytes"))
             return payload[:cut], record
         draw -= rates.truncate
         if draw < rates.duplicate:
-            record = FaultRecord(kind=DUPLICATE, link=link)
-            self.trace.append(record)
+            record = self._record(FaultRecord(kind=DUPLICATE, link=link))
             return payload, record
         draw -= rates.duplicate
         if draw < rates.delay:
             latency = self.rng.uniform(*self.delay_ms)
-            record = FaultRecord(kind=DELAY, link=link, latency_ms=latency,
-                                 detail=f"{latency:.0f}ms")
-            self.trace.append(record)
+            record = self._record(FaultRecord(kind=DELAY, link=link,
+                                              latency_ms=latency,
+                                              detail=f"{latency:.0f}ms"))
             return payload, record
         return payload, _CLEAN
 

@@ -2,11 +2,15 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Union
+from dataclasses import replace
+from typing import TYPE_CHECKING, Dict, List, Optional, Union
 
-from .faults import DUPLICATE, ChaosSchedule, FaultPolicy
+from .faults import DELIVERED, DUPLICATE, ChaosSchedule, FaultPolicy
 from .host import Host
 from .packets import UdpDatagram
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs import Collector
 
 
 class Network:
@@ -16,13 +20,21 @@ class Network:
     :class:`ChaosSchedule`), every delivery leg — request and reply —
     crosses the fault fabric; with the default ``None`` the fabric is the
     original perfect synchronous wire.
+
+    The traffic log records **what actually crossed the wire**: the
+    post-fault bytes of every delivered leg, duplicates included.  A leg
+    the fabric drops never reaches the destination segment, so it does
+    not appear in ``traffic`` — the fault trace (and the ``observer``'s
+    event bus) is where losses are accounted.
     """
 
     def __init__(self, name: str, subnet_prefix: str = "192.168.1",
-                 faults: Optional[Union[FaultPolicy, ChaosSchedule]] = None):
+                 faults: Optional[Union[FaultPolicy, ChaosSchedule]] = None,
+                 observer: Optional["Collector"] = None):
         self.name = name
         self.subnet_prefix = subnet_prefix
         self.faults = faults
+        self.observer = observer
         self._hosts: Dict[str, Host] = {}
         self._next_host_number = 100
         self.traffic: List[UdpDatagram] = []
@@ -61,46 +73,104 @@ class Network:
 
     # -- delivery ---------------------------------------------------------------------
 
+    def _log_leg(self, datagram: UdpDatagram, kind: str, fault: str,
+                 duplicate: bool = False) -> None:
+        self.traffic.append(datagram)
+        if self.observer is not None:
+            self.observer.emit(
+                "net", kind,
+                src=f"{datagram.src_ip}:{datagram.src_port}",
+                dst=f"{datagram.dst_ip}:{datagram.dst_port}",
+                bytes=len(datagram.payload),
+                fault=fault,
+                duplicate=duplicate,
+                network=self.name,
+            )
+            self.observer.inc("net.packets")
+
     def deliver(self, datagram: UdpDatagram) -> Optional[bytes]:
         """Route one datagram to its destination service, synchronously.
 
-        Both legs (request and the service's reply) land in the traffic
-        log, so taps see the whole exchange.
+        Every *delivered* leg — request, duplicate copy, and each
+        reply — lands in the traffic log with its **post-fault** payload,
+        so a tap sees exactly the bytes the receiving handler saw.  The
+        duplicate copy's reply crosses the fault fabric like any other
+        leg and is logged; the first answer still wins the socket, so
+        only the first reply is returned to the sender.
         """
-        self.traffic.append(datagram)
         payload = datagram.payload
         duplicated = False
+        fault_kind = DELIVERED
         if self.faults is not None:
             payload, record = self.faults.process(
                 payload, src=datagram.src_ip, dst=datagram.dst_ip
             )
             if payload is None:
+                if self.observer is not None:
+                    self.observer.emit(
+                        "net", "packet.drop",
+                        src=f"{datagram.src_ip}:{datagram.src_port}",
+                        dst=f"{datagram.dst_ip}:{datagram.dst_port}",
+                        bytes=len(datagram.payload),
+                        fault=record.kind,
+                        network=self.name,
+                    )
                 return None
             duplicated = record.kind == DUPLICATE
+            fault_kind = record.kind
+        delivered = (datagram if payload == datagram.payload
+                     else replace(datagram, payload=payload))
+        self._log_leg(delivered, "packet.tx", fault_kind)
         destination = self.host_by_ip(datagram.dst_ip)
-        if destination is None:
-            return None
-        handler = destination.service_on(datagram.dst_port)
+        handler = (destination.service_on(datagram.dst_port)
+                   if destination is not None else None)
         if handler is None:
             return None
-        response = handler(payload, datagram)
+        response = handler(payload, delivered)
+        if self.observer is not None:
+            self.observer.emit("net", "packet.rx",
+                               dst=f"{delivered.dst_ip}:{delivered.dst_port}",
+                               bytes=len(payload), network=self.name)
+        first_reply = self._deliver_reply(delivered, response)
         if duplicated:
-            # The copy arrives too; the first answer already won the socket.
-            handler(payload, datagram)
-        if response is not None and self.faults is not None:
-            response, _record = self.faults.process(
-                response, src=datagram.dst_ip, dst=datagram.src_ip
+            # The copy arrives too: its own wire entry, its own handler
+            # invocation, its own (fault-processed, logged) reply — but
+            # the first answer already won the socket.
+            self._log_leg(delivered, "packet.dup", DUPLICATE, duplicate=True)
+            duplicate_response = handler(payload, delivered)
+            self._deliver_reply(delivered, duplicate_response, duplicate=True)
+        return first_reply
+
+    def _deliver_reply(self, request: UdpDatagram, response: Optional[bytes],
+                       duplicate: bool = False) -> Optional[bytes]:
+        """Carry one reply leg back across the fabric; log what survives."""
+        if response is None:
+            return None
+        fault_kind = DELIVERED
+        if self.faults is not None:
+            response, record = self.faults.process(
+                response, src=request.dst_ip, dst=request.src_ip
             )
-        if response is not None:
-            self.traffic.append(
-                UdpDatagram(
-                    src_ip=datagram.dst_ip,
-                    src_port=datagram.dst_port,
-                    dst_ip=datagram.src_ip,
-                    dst_port=datagram.src_port,
-                    payload=response,
-                )
-            )
+            if response is None:
+                if self.observer is not None:
+                    self.observer.emit(
+                        "net", "packet.drop",
+                        src=f"{request.dst_ip}:{request.dst_port}",
+                        dst=f"{request.src_ip}:{request.src_port}",
+                        fault=record.kind,
+                        duplicate=duplicate,
+                        network=self.name,
+                    )
+                return None
+            fault_kind = record.kind
+        reply = UdpDatagram(
+            src_ip=request.dst_ip,
+            src_port=request.dst_port,
+            dst_ip=request.src_ip,
+            dst_port=request.src_port,
+            payload=response,
+        )
+        self._log_leg(reply, "packet.tx", fault_kind, duplicate=duplicate)
         return response
 
     def describe(self) -> str:

@@ -1,0 +1,35 @@
+"""Observability: event tracing, metrics, and capture export.
+
+The layer the paper's diagnosis workflow needs (crash triage in §III,
+Pineapple capture in §VI): a deterministic, simulated-clock
+:class:`Collector` that the network fabric, fault engine, caches,
+daemon, supervisor, and brute forcer all report into — plus a text
+pcap format for the traffic log that round-trips through the sniffer.
+"""
+
+from .collector import Collector
+from .events import EventBus, TraceEvent
+from .metrics import Counter, Histogram, MetricsRegistry
+from .pcap import (
+    PcapFormatError,
+    export_datagrams,
+    export_pcap_text,
+    parse_pcap_text,
+    replay_network,
+    sniff_capture,
+)
+
+__all__ = [
+    "Collector",
+    "Counter",
+    "EventBus",
+    "export_datagrams",
+    "export_pcap_text",
+    "Histogram",
+    "MetricsRegistry",
+    "parse_pcap_text",
+    "PcapFormatError",
+    "replay_network",
+    "sniff_capture",
+    "TraceEvent",
+]

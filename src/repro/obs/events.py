@@ -1,0 +1,125 @@
+"""The structured event-trace bus.
+
+One :class:`TraceEvent` is one thing that happened in the simulated
+world — a packet crossing the wire, a fault verdict, a cache decision, a
+daemon crash, an exploit stage transition — stamped with the collector's
+simulated clock and a monotonic sequence number.  Nothing here touches
+wall-clock time or unseeded randomness, so a trace is exactly as
+deterministic as the run that produced it: same seed, same events,
+byte-for-byte.
+
+Event kinds are dotted ``category.verb`` strings; the taxonomy in use:
+
+==========  =====================================================
+category    kinds
+==========  =====================================================
+``net``     ``packet.tx`` ``packet.rx`` ``packet.drop``
+            ``packet.dup``
+``fault``   ``fault.drop`` ``fault.corrupt`` ``fault.truncate``
+            ``fault.duplicate`` ``fault.delay`` ``fault.partition``
+``cache``   ``cache.hit`` ``cache.miss`` ``cache.put``
+            ``cache.evict`` ``cache.expire`` ``cache.stale``
+            ``cache.flush``
+``daemon``  ``daemon.boot`` ``daemon.restart`` ``daemon.crash``
+            ``daemon.compromise`` ``supervisor.restart``
+            ``supervisor.start_limit``
+``exploit`` ``exploit.attempt`` ``exploit.lost`` ``exploit.crash``
+            ``exploit.success`` ``exploit.halt``
+==========  =====================================================
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured, simulated-clock-stamped occurrence."""
+
+    seq: int
+    time: float
+    category: str
+    kind: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "time": round(self.time, 6),
+            "category": self.category,
+            "kind": self.kind,
+            "detail": dict(self.detail),
+        }
+
+    def describe(self) -> str:
+        bits = " ".join(f"{key}={value}" for key, value in self.detail.items())
+        return f"#{self.seq:<5} t={self.time:<8.1f} [{self.category}] {self.kind} {bits}".rstrip()
+
+
+class EventBus:
+    """Append-only trace of :class:`TraceEvent`\\ s with live subscribers.
+
+    The bus never generates its own timestamps; callers pass the
+    simulated ``time`` (usually :attr:`Collector.clock`).  A ``limit``
+    bounds memory on long runs — the bus keeps the *most recent*
+    ``limit`` events and counts what it sheds in ``dropped``.
+    """
+
+    def __init__(self, limit: int = 100_000):
+        self.limit = limit
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+        self._seq = 0
+        self._subscribers: List[Callable[[TraceEvent], None]] = []
+
+    def emit(self, category: str, kind: str, time: float = 0.0,
+             **detail: Any) -> TraceEvent:
+        event = TraceEvent(seq=self._seq, time=time, category=category,
+                           kind=kind, detail=detail)
+        self._seq += 1
+        self.events.append(event)
+        if len(self.events) > self.limit:
+            overflow = len(self.events) - self.limit
+            del self.events[:overflow]
+            self.dropped += overflow
+        for subscriber in self._subscribers:
+            subscriber(event)
+        return event
+
+    def subscribe(self, callback: Callable[[TraceEvent], None]) -> None:
+        self._subscribers.append(callback)
+
+    # -- queries ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def by_category(self, category: str) -> List[TraceEvent]:
+        return [event for event in self.events if event.category == category]
+
+    def by_kind(self, kind: str) -> List[TraceEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    def kinds(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    # -- export -----------------------------------------------------------------
+
+    def to_dicts(self, last: Optional[int] = None) -> List[dict]:
+        events: Iterable[TraceEvent] = (
+            self.events if last is None else self.events[-last:]
+        )
+        return [event.to_dict() for event in events]
+
+    def to_json(self, last: Optional[int] = None, indent: int = 2) -> str:
+        return json.dumps(self.to_dicts(last), indent=indent)
+
+    def describe(self, last: Optional[int] = None) -> str:
+        events = self.events if last is None else self.events[-last:]
+        return "\n".join(event.describe() for event in events)

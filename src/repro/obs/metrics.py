@@ -1,0 +1,140 @@
+"""Counters and histograms for the observability layer.
+
+A :class:`MetricsRegistry` is a flat namespace of named
+:class:`Counter`\\ s and :class:`Histogram`\\ s, created on first touch
+(``registry.inc("faults.drop")`` just works).  Everything is plain
+arithmetic over values the caller supplies, so a registry is exactly as
+deterministic as the run feeding it, and ``to_dict()`` serializes
+straight to JSON for the CLI and for ``ExperimentResult.to_dict``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+#: Default histogram bucket upper bounds (ms-ish scale; +Inf is implicit).
+DEFAULT_BUCKETS = (1.0, 5.0, 10.0, 50.0, 100.0, 250.0, 500.0, 1000.0)
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> int:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment {amount}")
+        self.value += amount
+        return self.value
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "value": self.value}
+
+
+class Histogram:
+    """Bucketed distribution: count/sum/min/max plus cumulative buckets."""
+
+    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS):
+        self.name = name
+        self.bounds = tuple(sorted(buckets))
+        self.bucket_counts = [0] * (len(self.bounds) + 1)  # last = +Inf
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "count": self.count,
+            "sum": round(self.total, 6),
+            "mean": round(self.mean, 6),
+            "min": self.min,
+            "max": self.max,
+            "buckets": {
+                **{f"le_{bound:g}": count
+                   for bound, count in zip(self.bounds, self.bucket_counts)},
+                "le_inf": self.bucket_counts[-1],
+            },
+        }
+
+
+class MetricsRegistry:
+    """Create-on-first-touch namespace of counters and histograms."""
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- access -----------------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name, buckets)
+        return self._histograms[name]
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    def value(self, name: str) -> int:
+        """Current count for ``name`` (0 if never incremented)."""
+        counter = self._counters.get(name)
+        return counter.value if counter is not None else 0
+
+    def counters(self) -> Dict[str, int]:
+        return {name: counter.value for name, counter in sorted(self._counters.items())}
+
+    # -- export -----------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "counters": self.counters(),
+            "histograms": [self._histograms[name].to_dict()
+                           for name in sorted(self._histograms)],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def describe(self) -> str:
+        lines: List[str] = ["counters:"]
+        for name, value in self.counters().items():
+            lines.append(f"  {name:<28} {value}")
+        if len(lines) == 1:
+            lines.append("  (none)")
+        if self._histograms:
+            lines.append("histograms:")
+            for name in sorted(self._histograms):
+                histogram = self._histograms[name]
+                lines.append(
+                    f"  {name:<28} count={histogram.count} "
+                    f"mean={histogram.mean:.1f} min={histogram.min} max={histogram.max}"
+                )
+        return "\n".join(lines)

@@ -115,6 +115,26 @@ class TestCache:
         assert len(cache) == 2
         assert cache.get("a") is None  # oldest evicted
 
+    def test_eviction_prefers_expired_entry(self):
+        cache = DnsCache(max_entries=2)
+        cache.put("old-live", "1.1.1.1", ttl=1000)
+        cache.advance(1)
+        cache.put("young-dead", "2.2.2.2", ttl=5)
+        cache.advance(10)  # young-dead expires; old-live still valid
+        cache.put("new", "3.3.3.3")
+        assert cache.get("old-live") == "1.1.1.1"  # survived despite being oldest
+        assert cache.get("young-dead") is None
+        assert cache.get("new") == "3.3.3.3"
+
+    def test_eviction_falls_back_to_oldest_live(self):
+        cache = DnsCache(max_entries=2)
+        cache.put("a", "1.1.1.1", ttl=1000)
+        cache.advance(1)
+        cache.put("b", "2.2.2.2", ttl=1000)
+        cache.put("c", "3.3.3.3")
+        assert cache.get("a") is None  # all live: oldest goes
+        assert cache.get("b") == "2.2.2.2"
+
     def test_overwrite_same_name_no_evict(self):
         cache = DnsCache(max_entries=1)
         cache.put("a", "1.1.1.1")

@@ -83,6 +83,65 @@ class TestNameCodec:
             encode_pointer(0x4000)
 
 
+class TestRfcBoundaries:
+    """Encode and decode must agree exactly at the RFC 1035 limits."""
+
+    # 253 presentation chars = 255 wire octets: the largest legal name.
+    MAX_PRESENTATION = ".".join(["a" * 63] * 3 + ["a" * 61])
+
+    def test_max_presentation_name_is_253_chars(self):
+        assert len(self.MAX_PRESENTATION) == 253
+        assert len(encode_name(self.MAX_PRESENTATION)) == 255
+
+    def test_253_char_name_round_trips(self):
+        wire = encode_name(self.MAX_PRESENTATION)
+        decoded, offset = decode_name(wire, 0)
+        assert decoded == self.MAX_PRESENTATION
+        assert offset == len(wire) == 255
+
+    def test_254_char_name_rejected_by_encode(self):
+        too_long = ".".join(["a" * 63] * 3 + ["a" * 62])  # 254 chars
+        with pytest.raises(NameEncodingError):
+            encode_name(too_long)
+
+    def test_63_byte_label_round_trips(self):
+        name = "b" * 63 + ".example"
+        decoded, _offset = decode_name(encode_name(name), 0)
+        assert decoded == name
+
+    def test_64_byte_label_rejected_both_ways(self):
+        with pytest.raises(NameEncodingError):
+            encode_name("c" * 64 + ".example")
+        with pytest.raises(PointerLoopError):
+            decode_name(b"\x40" + b"c" * 64 + b"\x00", 0)
+
+    def test_oversized_wire_name_rejected_by_decode(self):
+        # 4 x 63-byte labels = 257 wire octets but only 255 presentation
+        # characters: the old character-count guard let this through even
+        # though encode_name could never have produced it.
+        wire = (b"\x3f" + b"a" * 63) * 4 + b"\x00"
+        assert len(wire) == 257
+        with pytest.raises(PointerLoopError):
+            decode_name(wire, 0)
+
+    def test_compressed_expansion_past_limit_rejected(self):
+        # The tail at offset 0 is itself legal (193 octets); prefixing one
+        # more 63-byte label via a pointer expands to 257 octets.
+        tail = (b"\x3f" + b"a" * 63) * 3 + b"\x00"
+        packet = tail + b"\x3f" + b"b" * 63 + encode_pointer(0)
+        with pytest.raises(PointerLoopError):
+            decode_name(packet, len(tail))
+
+    def test_compressed_name_at_limit_accepted(self):
+        # Same shape but the tail is one label shorter: exactly 255 octets
+        # once expanded — the decoder must accept the boundary case.
+        tail = (b"\x3f" + b"a" * 63) * 2 + b"\x3d" + b"a" * 61 + b"\x00"
+        packet = tail + b"\x3f" + b"b" * 63 + encode_pointer(0)
+        decoded, _offset = decode_name(packet, len(tail))
+        assert decoded.startswith("b" * 63 + ".")
+        assert len(decoded) == 253
+
+
 DNS_LABEL = st.text(
     alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz0123456789-"),
     min_size=1, max_size=20,

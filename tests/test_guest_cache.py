@@ -52,6 +52,30 @@ class TestGuestStore:
         # Still functional and bounded after wholesale flushes.
         assert len(cache) >= 1
 
+    def test_full_region_compacts_expired_before_flush(self):
+        # Region sized for exactly 3 of these 30-byte entries.  With one
+        # entry expired, filling up must evict only the dead one — live
+        # entries survive.
+        cache, _loaded = make_cache(size=0x60)
+        cache.put("dead-entry-00.example", "1.1.1.1", ttl=5)
+        cache.put("live-entry-01.example", "2.2.2.2", ttl=1000)
+        cache.advance(10)  # first entry expires
+        cache.put("live-entry-02.example", "3.3.3.3", ttl=1000)
+        cache.put("live-entry-03.example", "4.4.4.4", ttl=1000)
+        assert cache.get("dead-entry-00.example") is None
+        assert cache.get("live-entry-01.example") == "2.2.2.2"
+        assert cache.get("live-entry-02.example") == "3.3.3.3"
+        assert cache.get("live-entry-03.example") == "4.4.4.4"
+
+    def test_full_region_still_flushes_when_all_live(self):
+        cache, _loaded = make_cache(size=0x60)
+        for index in range(4):
+            cache.put(f"live-entry-{index:02}.example", "9.9.9.9", ttl=1000)
+        # No expired entries to compact away: the wholesale flush ran and
+        # only the newest entry remains.
+        assert len(cache) == 1
+        assert cache.get("live-entry-03.example") == "9.9.9.9"
+
     def test_ipv6_not_stored(self):
         cache, _loaded = make_cache()
         assert not cache.put("v6.example", "20010db8" + "0" * 24)

@@ -1,0 +1,147 @@
+"""Traffic-log fidelity: the sniffer sees exactly what the victim received.
+
+The paper's workflow diagnoses attacks by watching the wire (Pineapple
+capture, §VI) and the victim (crash triage, §III); these tests pin the
+contract that makes that possible — the traffic log records post-fault
+bytes, duplicate legs get their own entries, and a capture round-trips
+through the pcap text format without loss.
+"""
+
+from repro.dns import SimpleDnsServer, make_query
+from repro.net import DNS_PORT, FaultPolicy, Host, Network, PacketSniffer, UdpDatagram
+from repro.obs import export_pcap_text, parse_pcap_text, sniff_capture
+
+
+def faulty_lan(policy, subnet="10.42.0"):
+    """LAN with a recording DNS server: returns (network, server, received)."""
+    network = Network("fidelity-lan", subnet_prefix=subnet, faults=policy)
+    server = Host("dns-server")
+    network.attach(server, ip=f"{subnet}.1")
+    dns = SimpleDnsServer(default_address="203.0.113.9")
+    received = []
+
+    def handler(payload, _dgram):
+        received.append(payload)
+        try:
+            return dns.handle_query(payload)
+        except Exception:
+            # A corrupted query can decode into a name the benign codec
+            # refuses to re-encode; a real server would drop it.
+            return None
+
+    server.bind_udp(DNS_PORT, handler)
+    client = Host("client")
+    network.attach(client)
+    return network, client, server, received
+
+
+class TestPostFaultLogging:
+    def test_corrupted_request_logged_as_received(self):
+        policy = FaultPolicy(seed=7, corrupt=1.0)
+        network, client, server, received = faulty_lan(policy)
+        original = make_query(0x1234, "victim.example").encode()
+        client.send_udp(server.ip, DNS_PORT, original)
+        request_leg = network.traffic[0]
+        # The wire shows the corrupted bytes — exactly what the handler got.
+        assert request_leg.payload == received[0]
+        assert request_leg.payload != original
+
+    def test_clean_request_logged_verbatim(self):
+        network, client, server, received = faulty_lan(None)
+        query = make_query(1, "ok.example").encode()
+        client.send_udp(server.ip, DNS_PORT, query)
+        assert network.traffic[0].payload == query == received[0]
+
+    def test_sniffer_sees_what_victim_received(self):
+        policy = FaultPolicy(seed=11, corrupt=0.5)
+        network, client, server, received = faulty_lan(policy)
+        sniffer = PacketSniffer()
+        sniffer.attach(network)
+        for number in range(12):
+            query = make_query(0x2000 + number, f"h{number}.example").encode()
+            client.send_udp(server.ip, DNS_PORT, query)
+        sniffer.poll()
+        sniffed_requests = [p.datagram.payload for p in sniffer.captured
+                            if p.datagram.dst_port == DNS_PORT]
+        assert sniffed_requests == received
+
+    def test_dropped_leg_not_in_traffic(self):
+        policy = FaultPolicy(seed=3, drop=1.0)
+        network, client, server, received = faulty_lan(policy)
+        client.send_udp(server.ip, DNS_PORT, make_query(2, "x.example").encode())
+        assert network.traffic == []
+        assert received == []
+
+
+class TestDuplicateLegs:
+    def test_duplicate_request_logged_twice(self):
+        policy = FaultPolicy(seed=5, duplicate=1.0)
+        network, client, server, received = faulty_lan(policy)
+        query = make_query(0x3333, "dup.example").encode()
+        client.send_udp(server.ip, DNS_PORT, query)
+        request_legs = [d for d in network.traffic if d.dst_port == DNS_PORT]
+        assert len(request_legs) == 2
+        assert [leg.payload for leg in request_legs] == received
+        assert len(received) == 2
+
+    def test_duplicate_reply_crosses_fabric_and_is_logged(self):
+        # duplicate=1.0 makes *every* leg duplicate, including the
+        # replies — so one send yields 2 request legs and 2 reply legs.
+        policy = FaultPolicy(seed=5, duplicate=1.0)
+        network, client, server, _received = faulty_lan(policy)
+        client.send_udp(server.ip, DNS_PORT, make_query(7, "d.example").encode())
+        reply_legs = [d for d in network.traffic if d.src_port == DNS_PORT]
+        assert len(reply_legs) == 2
+        assert all(leg.dst_ip == client.ip for leg in reply_legs)
+        # Each reply leg consumed its own fault decision (the duplicate
+        # copy itself does not re-cross the fabric): 1 request + 2
+        # replies = 3 decisions.  Before the fix the duplicate's reply
+        # was discarded unprocessed, leaving only 2.
+        assert policy.decisions == 3
+
+    def test_first_answer_wins_socket(self):
+        policy = FaultPolicy(seed=5, duplicate=1.0)
+        network, client, server, _received = faulty_lan(policy)
+        answer = client.send_udp(server.ip, DNS_PORT,
+                                 make_query(9, "w.example").encode())
+        reply_legs = [d for d in network.traffic if d.src_port == DNS_PORT]
+        assert answer == reply_legs[0].payload
+
+
+class TestPcapRoundTrip:
+    def test_export_parse_round_trip(self):
+        policy = FaultPolicy(seed=13, corrupt=0.3, duplicate=0.3)
+        network, client, server, _received = faulty_lan(policy)
+        for number in range(8):
+            client.send_udp(server.ip, DNS_PORT,
+                            make_query(number, f"rt{number}.example").encode())
+        text = export_pcap_text(network)
+        name, datagrams = parse_pcap_text(text)
+        assert name == network.name
+        assert datagrams == network.traffic
+
+    def test_sniffer_round_trip_matches_live_capture(self):
+        policy = FaultPolicy(seed=13, corrupt=0.5)
+        network, client, server, _received = faulty_lan(policy)
+        live = PacketSniffer()
+        live.attach(network)
+        for number in range(10):
+            client.send_udp(server.ip, DNS_PORT,
+                            make_query(number, f"s{number}.example").encode())
+        live.poll()
+        replayed = sniff_capture(export_pcap_text(network))
+        assert len(replayed) == len(live.captured)
+        for replay, original in zip(replayed, live.captured):
+            assert replay.datagram == original.datagram
+            assert replay.suspicious == original.suspicious
+
+    def test_empty_payload_record(self):
+        text = export_pcap_text_of([UdpDatagram("1.1.1.1", 1, "2.2.2.2", 2, b"")])
+        _name, datagrams = parse_pcap_text(text)
+        assert datagrams[0].payload == b""
+
+
+def export_pcap_text_of(datagrams):
+    from repro.obs import export_datagrams
+
+    return export_datagrams(datagrams)
