@@ -13,7 +13,8 @@
     python -m repro autogen --arch arm --level wx
     python -m repro bruteforce
     python -m repro offpath --burst 2048
-    python -m repro chaos --rates 0,0.2,0.5
+    python -m repro chaos --rates 0,0.2,0.5 --workers 2
+    python -m repro bench --emit benchmarks/BENCH.json
     python -m repro trace-events --json     # observed chaos point: event trace
     python -m repro metrics --json          # same run, metrics registry
     python -m repro pcap                    # faulty LAN capture, reprocap text
@@ -274,6 +275,7 @@ def cmd_chaos(args) -> int:
         queries_per_rate=args.queries,
         attack_budget=args.attack_budget,
         observer=Collector(),
+        workers=args.workers,
     )
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
@@ -360,6 +362,27 @@ def cmd_pcap(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    """Emulator microbenchmark: decode-cache on/off, committed baseline."""
+    import json
+
+    from .core import collect_baseline, validate_baseline
+
+    payload = validate_baseline(collect_baseline(steps=args.steps))
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.emit:
+        with open(args.emit, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.emit}")
+    for entry in payload["benchmarks"]:
+        print(f"BENCH {entry['name']}: {entry['decode_call_ratio']:.1f}x fewer "
+              f"decode() calls, {entry['wall_speedup']:.2f}x wall speedup "
+              f"({entry['cached']['steps_per_s']:,.0f} steps/s cached)")
+    if not args.emit:
+        print(text)
+    return 0
+
+
 def cmd_offpath(args) -> int:
     profile = WX_ASLR
     knowledge = attacker_knowledge(AttackScenario("arm", "cli", profile))
@@ -438,8 +461,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="client queries per fault level")
     chaos.add_argument("--attack-budget", type=int, default=32,
                        help="brute-force attempts per fault level")
+    chaos.add_argument("--workers", type=int, default=1,
+                       help="fan sweep points out over N processes "
+                            "(0 = one per CPU); cells match --workers 1")
     chaos.add_argument("--json", action="store_true", help="machine-readable output")
     chaos.set_defaults(run=cmd_chaos)
+
+    bench = subparsers.add_parser(
+        "bench", help="emulator microbenchmark (decode cache on/off)")
+    bench.add_argument("--steps", type=int, default=12_000,
+                       help="emulated instructions per measurement")
+    bench.add_argument("--emit", metavar="PATH",
+                       help="write the repro-bench/v1 JSON baseline to PATH")
+    bench.set_defaults(run=cmd_bench)
 
     trace_events = subparsers.add_parser(
         "trace-events", help="structured event trace of an observed chaos point")

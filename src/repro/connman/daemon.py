@@ -90,6 +90,8 @@ class ConnmanDaemon:
             self.loaded.address_of("dnsproxy_resume"),
             NativeFunction("dnsproxy_resume", _resume_stop),
         )
+        # Emulator runs over this process flush decode-cache counters here.
+        self.loaded.process.observer = self.observer
         canary = StackCanary(self.rng) if self.profile.canary else None
         ret_guard = ReturnAddressGuard(self.rng) if self.profile.ret_guard else None
         if self.profile.cfi:

@@ -1,0 +1,154 @@
+"""Microbenchmark harness for the emulation core (decode-cache baseline).
+
+The benchmark drives each emulator's fetch-decode-execute loop over a tight
+self-branching loop — 9 distinct instructions executed tens of thousands of
+times — once with the decode cache disabled (every step pays a ``decode()``
+call) and once enabled (steady state is all cache hits).  The decode-call
+counts come straight from the cache's own counters, so the headline ratio
+is deterministic; wall-clock numbers are environment-dependent and recorded
+alongside for trend tracking, not asserted in CI.
+
+``collect_baseline`` emits the ``repro-bench/v1`` JSON payload committed
+under ``benchmarks/``; ``validate_baseline`` is the CI smoke check.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Dict, Sequence
+
+from ..cpu import Process, make_emulator
+from ..cpu.arm.asm import add_imm, b as arm_b
+from ..mem import AddressSpace, Perm, Segment
+from ..obs.metrics import Histogram
+
+BENCH_SCHEMA = "repro-bench/v1"
+
+#: Step-latency histogram bounds, in microseconds.
+STEP_US_BUCKETS = (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 500.0)
+
+_CODE_BASE = 0x0804_8000
+
+#: The committed-baseline acceptance floor: caching must cut decode() calls
+#: by at least this factor on the tight loop.
+MIN_DECODE_CALL_RATIO = 3.0
+
+
+def _loop_code(arch: str) -> bytes:
+    """A 9-instruction infinite loop (8 increments + a back branch).
+
+    The x86 loop is eight ``inc eax`` one-byte opcodes and a ``jmp rel8``
+    back to the top; the ARM loop is eight ``add r1, r1, #1`` words and an
+    unconditional ``b`` (the emulated ARM subset has no conditional
+    branches, so the loop never terminates — the harness bounds it by step
+    count, not by control flow).
+    """
+    if arch == "x86":
+        return b"\x40" * 8 + b"\xeb\xf6"  # jmp rel8 back to _CODE_BASE
+    body = b"".join(add_imm("r1", "r1", 1) for _ in range(8))
+    return body + arm_b(_CODE_BASE + len(body), _CODE_BASE)
+
+
+def _build_loop_emulator(arch: str):
+    """A minimal process whose pc sits on the benchmark loop (R|X text)."""
+    memory = AddressSpace()
+    code = _loop_code(arch)
+    memory.map(Segment(".text", _CODE_BASE, 0x1000, Perm.R | Perm.X))
+    memory.write(_CODE_BASE, code, check=False)  # loader-style text install
+    process = Process(arch, memory, name=f"bench-{arch}")
+    process.pc = _CODE_BASE
+    return make_emulator(process)
+
+
+def run_microbench(arch: str = "x86", steps: int = 12_000, *,
+                   cache_enabled: bool = True) -> Dict[str, object]:
+    """Run ``steps`` emulated instructions; report decode/wall counters.
+
+    Steps the emulator directly (no run-loop budget, no native dispatch)
+    so the numbers isolate the fetch-decode-execute path.  The per-step
+    latency histogram uses the opt-in ``step_timer`` hook — the same one
+    the normal (deterministic) paths leave unset.
+    """
+    emulator = _build_loop_emulator(arch)
+    process = emulator.process
+    cache = process.decode_cache
+    cache.enabled = cache_enabled
+    timer = Histogram("step_us", STEP_US_BUCKETS)
+    started = perf_counter()
+    for _ in range(steps):
+        step_started = perf_counter()
+        emulator.step()
+        timer.observe((perf_counter() - step_started) * 1e6)
+    wall_s = max(perf_counter() - started, 1e-9)
+    return {
+        "arch": arch,
+        "steps": steps,
+        "cache_enabled": cache_enabled,
+        "decode_calls": cache.misses,
+        "cache_hits": cache.hits,
+        "wall_s": wall_s,
+        "steps_per_s": steps / wall_s,
+        "step_us": {
+            "mean": timer.mean,
+            "min": timer.min,
+            "max": timer.max,
+            "count": timer.count,
+        },
+    }
+
+
+def collect_baseline(steps: int = 12_000,
+                     arches: Sequence[str] = ("x86", "arm")) -> Dict[str, object]:
+    """Uncached-vs-cached comparison for each arch (the BENCH payload)."""
+    benchmarks = []
+    for arch in arches:
+        baseline = run_microbench(arch, steps, cache_enabled=False)
+        cached = run_microbench(arch, steps, cache_enabled=True)
+        benchmarks.append({
+            "name": f"{arch}-tight-loop",
+            "arch": arch,
+            "steps": steps,
+            "baseline": baseline,
+            "cached": cached,
+            "decode_call_ratio": baseline["decode_calls"] / max(cached["decode_calls"], 1),
+            "wall_speedup": baseline["wall_s"] / cached["wall_s"],
+        })
+    return {"schema": BENCH_SCHEMA, "steps": steps, "benchmarks": benchmarks}
+
+
+def validate_baseline(payload: Dict[str, object]) -> Dict[str, object]:
+    """Structural + invariant checks for a BENCH payload; raises ValueError.
+
+    Only deterministic quantities are asserted hard (decode-call counts and
+    their ratio); wall-clock fields just have to be present and positive,
+    so the check never flakes on a loaded CI runner.
+    """
+    if not isinstance(payload, dict) or payload.get("schema") != BENCH_SCHEMA:
+        raise ValueError(f"bench payload schema must be {BENCH_SCHEMA!r}")
+    benchmarks = payload.get("benchmarks")
+    if not isinstance(benchmarks, list) or not benchmarks:
+        raise ValueError("bench payload has no benchmarks")
+    for entry in benchmarks:
+        name = entry.get("name", "<unnamed>")
+        for key in ("arch", "steps", "baseline", "cached",
+                    "decode_call_ratio", "wall_speedup"):
+            if key not in entry:
+                raise ValueError(f"{name}: missing {key!r}")
+        for side in ("baseline", "cached"):
+            run = entry[side]
+            for key in ("decode_calls", "cache_hits", "wall_s", "steps_per_s"):
+                if key not in run:
+                    raise ValueError(f"{name}.{side}: missing {key!r}")
+            if run["wall_s"] <= 0 or run["steps_per_s"] <= 0:
+                raise ValueError(f"{name}.{side}: non-positive wall fields")
+        if entry["baseline"]["decode_calls"] != entry["baseline"]["steps"]:
+            raise ValueError(
+                f"{name}: uncached run must decode every step "
+                f"({entry['baseline']['decode_calls']} != {entry['baseline']['steps']})"
+            )
+        if entry["decode_call_ratio"] < MIN_DECODE_CALL_RATIO:
+            raise ValueError(
+                f"{name}: decode_call_ratio {entry['decode_call_ratio']:.2f} "
+                f"below the {MIN_DECODE_CALL_RATIO}x acceptance floor"
+            )
+    return payload

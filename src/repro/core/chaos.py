@@ -16,7 +16,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.metrics import MetricsRegistry
 
 from ..connman import ConnmanDaemon, DaemonSupervisor
 from ..defenses import WX_ASLR
@@ -24,6 +27,7 @@ from ..dns import ResilientResolver, SimpleDnsServer, make_query
 from ..exploit import AslrBruteForcer
 from ..net import FaultPolicy, faulty_transport
 from ..obs import Collector
+from .parallel import resolve_workers, run_tasks
 from .report import render_table
 
 #: Client names rotate through this many hosts (so revisits hit the cache).
@@ -215,6 +219,27 @@ def run_chaos_point(
     )
 
 
+def _chaos_point_task(task: Tuple) -> Tuple[ChaosCell, Optional["MetricsRegistry"]]:
+    """Worker for the parallel sweep: one fully seeded chaos point.
+
+    Module-level (pool-picklable).  When the sweep is observed, the worker
+    runs with its own collector and ships its metrics registry back for the
+    parent to merge — counter totals match the sequential run exactly.
+    """
+    level, point_seed, queries, attack_budget, entropy_pages, start_limit_burst, observed = task
+    collector = Collector() if observed else None
+    cell = run_chaos_point(
+        level,
+        seed=point_seed,
+        queries=queries,
+        attack_budget=attack_budget,
+        entropy_pages=entropy_pages,
+        start_limit_burst=start_limit_burst,
+        observer=collector,
+    )
+    return cell, collector.metrics if collector is not None else None
+
+
 def run_chaos_sweep(
     rates: Sequence[float] = (0.0, 0.2, 0.5),
     *,
@@ -224,26 +249,44 @@ def run_chaos_sweep(
     entropy_pages: int = 32,
     start_limit_burst: int = 6,
     observer: Optional[Collector] = None,
+    workers: Optional[int] = 1,
 ) -> ReliabilityReport:
     """Sweep the fault level; each point gets an independent derived seed.
 
     Pass (or let the sweep create) a :class:`~repro.obs.Collector` to get
     a metrics summary on the report; ``observer=None`` keeps the legacy
     unobserved path byte-identical.
+
+    ``workers>1`` fans the points out over the parallel runner: cells are
+    identical to the sequential sweep (each point is seeded independently),
+    and when observed, worker metrics are merged into ``observer`` in point
+    order.  Event traces stay per-worker in that mode — only the sequential
+    path streams events into the parent collector.
     """
     report = ReliabilityReport(seed=seed)
-    for index, level in enumerate(rates):
-        report.cells.append(
-            run_chaos_point(
-                level,
-                seed=seed + 7919 * index,
-                queries=queries_per_rate,
-                attack_budget=attack_budget,
-                entropy_pages=entropy_pages,
-                start_limit_burst=start_limit_burst,
-                observer=observer,
+    if resolve_workers(workers) > 1 and len(rates) > 1:
+        tasks = [
+            (level, seed + 7919 * index, queries_per_rate, attack_budget,
+             entropy_pages, start_limit_burst, observer is not None)
+            for index, level in enumerate(rates)
+        ]
+        for cell, metrics in run_tasks(_chaos_point_task, tasks, workers=workers):
+            report.cells.append(cell)
+            if observer is not None and metrics is not None:
+                observer.metrics.merge(metrics)
+    else:
+        for index, level in enumerate(rates):
+            report.cells.append(
+                run_chaos_point(
+                    level,
+                    seed=seed + 7919 * index,
+                    queries=queries_per_rate,
+                    attack_budget=attack_budget,
+                    entropy_pages=entropy_pages,
+                    start_limit_burst=start_limit_burst,
+                    observer=observer,
+                )
             )
-        )
     if observer is not None:
         report.metrics = observer.metrics.to_dict()
     return report

@@ -421,29 +421,30 @@ def e8_adaptation(profiles: Optional[Sequence[Tuple[str, ProtectionProfile]]] = 
 # -- E10: brute-forcing ASLR against a respawning daemon (§VI related work) -----
 
 
-def e10_bruteforce(max_attempts: int = 2048) -> ExperimentResult:
+def e10_bruteforce(max_attempts: int = 2048, *,
+                   workers: Optional[int] = 1) -> ExperimentResult:
     """32-bit ASLR entropy is brute-forceable; §IV/§VII defenses are not."""
-    from ..exploit import AslrBruteForcer
+    from ..exploit import BruteForceTrial, run_bruteforce_trial
+    from .parallel import run_tasks
 
     result = ExperimentResult(
         "E10", "brute-forcing ASLR (ret2libc, respawning daemon)",
         headers=("victim", "attempts", "outcome", "expected"),
         notes="32-bit mmap ASLR: ~8 bits of libc entropy -> expected ~256 tries.",
     )
-    victim = ConnmanDaemon(arch="x86", profile=WX_ASLR, rng=random.Random(99))
-    report = AslrBruteForcer(victim, max_attempts=max_attempts,
-                             rng=random.Random(5)).run()
+    report, guarded_report = run_tasks(
+        run_bruteforce_trial,
+        [
+            BruteForceTrial(victim_seed=99, attacker_seed=5,
+                            max_attempts=max_attempts),
+            BruteForceTrial(victim_seed=99, attacker_seed=5,
+                            max_attempts=256, ret_guard=True),
+        ],
+        workers=workers,
+    )
     plausible = report.succeeded and 16 <= report.attempts <= max_attempts
     result.rows.append(("W^X+ASLR", report.attempts, report.describe()[:52],
                         _check(plausible)))
-
-    guarded = ConnmanDaemon(
-        arch="x86",
-        profile=ProtectionProfile(wx=True, aslr=True, ret_guard=True),
-        rng=random.Random(99),
-    )
-    guarded_report = AslrBruteForcer(guarded, max_attempts=256,
-                                     rng=random.Random(5)).run()
     result.rows.append(("+ ret-addr guard", guarded_report.attempts,
                         guarded_report.describe()[:52],
                         _check(not guarded_report.succeeded)))
@@ -609,7 +610,8 @@ def e13_botnet() -> ExperimentResult:
 # -- E14: exploit reliability across randomization draws ---------------------------
 
 
-def e14_reliability(trials: int = 10) -> ExperimentResult:
+def e14_reliability(trials: int = 10, *,
+                    workers: Optional[int] = 1) -> ExperimentResult:
     """Success rates per technique over fresh boots (fresh ASLR draws)."""
     from .reliability import run_reliability_study
 
@@ -619,7 +621,7 @@ def e14_reliability(trials: int = 10) -> ExperimentResult:
         notes="'always' techniques use only non-randomized facts; 'lottery' "
               "is the 1-in-2^entropy residual that E10 brute-forces.",
     )
-    for cell in run_reliability_study(trials=trials):
+    for cell in run_reliability_study(trials=trials, workers=workers):
         result.rows.append(cell.row() + (_check(cell.matches_expectation),))
     return result
 
@@ -627,7 +629,8 @@ def e14_reliability(trials: int = 10) -> ExperimentResult:
 # -- E15: brute-force cost vs. ASLR entropy (figure series) -------------------------
 
 
-def e15_entropy_sweep(runs_per_point: int = 5) -> ExperimentResult:
+def e15_entropy_sweep(runs_per_point: int = 5, *,
+                      workers: Optional[int] = 1) -> ExperimentResult:
     """Median brute-force attempts scale linearly with randomization span."""
     from .sweeps import sweep_bruteforce_entropy
 
@@ -637,7 +640,8 @@ def e15_entropy_sweep(runs_per_point: int = 5) -> ExperimentResult:
         notes="Linear scaling: with ~2^8 pages the attack is minutes of DNS "
               "traffic; IoT-class 32-bit targets cannot widen the span enough.",
     )
-    points = sweep_bruteforce_entropy(runs_per_point=runs_per_point)
+    points = sweep_bruteforce_entropy(runs_per_point=runs_per_point,
+                                      workers=workers)
     for point in points:
         result.rows.append(point.row() + (_check(point.plausible),))
     medians = [point.median_attempts for point in points]
@@ -653,7 +657,8 @@ def e15_entropy_sweep(runs_per_point: int = 5) -> ExperimentResult:
 
 
 def e16_chaos(rates: Sequence[float] = (0.0, 0.2, 0.5),
-              queries_per_rate: int = 24, attack_budget: int = 32) -> ExperimentResult:
+              queries_per_rate: int = 24, attack_budget: int = 32, *,
+              workers: Optional[int] = 1) -> ExperimentResult:
     """Fault-rate sweep plus the supervised-vs-unsupervised brute force."""
     from ..connman import DaemonSupervisor
     from ..exploit import AslrBruteForcer
@@ -669,7 +674,8 @@ def e16_chaos(rates: Sequence[float] = (0.0, 0.2, 0.5),
     )
     collector = Collector()
     report = run_chaos_sweep(rates, queries_per_rate=queries_per_rate,
-                             attack_budget=attack_budget, observer=collector)
+                             attack_budget=attack_budget, observer=collector,
+                             workers=workers)
     result.metrics = collector.metrics.to_dict()
     for cell in report.cells:
         if cell.fault_rate == 0.0:

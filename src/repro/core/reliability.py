@@ -18,7 +18,7 @@ from __future__ import annotations
 import random
 import zlib
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional, Tuple
 
 from ..connman import ConnmanDaemon
 from ..defenses import NONE, WX, WX_ASLR, ProtectionProfile
@@ -83,38 +83,51 @@ STUDY_PLAN = (
 )
 
 
-def run_reliability_study(trials: int = 10, seed: int = 0xE14) -> List[ReliabilityCell]:
+def _reliability_cell(task: Tuple[int, int, int]) -> ReliabilityCell:
+    """Worker: one STUDY_PLAN row's full trial series (pool-picklable).
+
+    Each cell's rng is derived from a stable digest of the cell key, never
+    from other cells' progress — so the fan-out is order-independent and
+    ``workers=N`` reproduces the sequential study exactly.
+    """
+    plan_index, trials, seed = task
+    label, arch, builder_cls, recon_profile, blind, victim_profile, expectation = (
+        STUDY_PLAN[plan_index]
+    )
+    knowledge = attacker_knowledge(
+        AttackScenario(arch, "reliability", recon_profile)
+    ) if not blind else attacker_knowledge(
+        AttackScenario(arch, "reliability", victim_profile)
+    )
+    exploit = builder_cls().build(knowledge)
+    # crc32, not hash(): str hashes are randomized per process
+    # (PYTHONHASHSEED), which made the study's lottery cells flaky —
+    # a different derived seed could hand the 1-in-2^entropy win to a
+    # 6-trial run.  A stable digest keeps E14 bit-identical everywhere.
+    cell_key = f"{label}/{arch}/{victim_profile.label()}"
+    rng = random.Random(seed ^ (zlib.crc32(cell_key.encode()) & 0xFFFF))
+    successes = 0
+    victim = ConnmanDaemon(arch=arch, profile=victim_profile, rng=rng)
+    for _trial in range(trials):
+        if not victim.alive:
+            victim.restart()
+        if deliver(exploit, victim, rng=rng).got_root_shell:
+            successes += 1
+            victim.restart()
+    return ReliabilityCell(
+        technique=label,
+        arch=arch,
+        victim_profile=victim_profile.label(),
+        successes=successes,
+        trials=trials,
+        expectation=expectation,
+    )
+
+
+def run_reliability_study(trials: int = 10, seed: int = 0xE14, *,
+                          workers: Optional[int] = 1) -> List[ReliabilityCell]:
     """Build each exploit once, deliver it to ``trials`` fresh boots."""
-    cells: List[ReliabilityCell] = []
-    for label, arch, builder_cls, recon_profile, blind, victim_profile, expectation in STUDY_PLAN:
-        knowledge = attacker_knowledge(
-            AttackScenario(arch, "reliability", recon_profile)
-        ) if not blind else attacker_knowledge(
-            AttackScenario(arch, "reliability", victim_profile)
-        )
-        exploit = builder_cls().build(knowledge)
-        # crc32, not hash(): str hashes are randomized per process
-        # (PYTHONHASHSEED), which made the study's lottery cells flaky —
-        # a different derived seed could hand the 1-in-2^entropy win to a
-        # 6-trial run.  A stable digest keeps E14 bit-identical everywhere.
-        cell_key = f"{label}/{arch}/{victim_profile.label()}"
-        rng = random.Random(seed ^ (zlib.crc32(cell_key.encode()) & 0xFFFF))
-        successes = 0
-        victim = ConnmanDaemon(arch=arch, profile=victim_profile, rng=rng)
-        for _trial in range(trials):
-            if not victim.alive:
-                victim.restart()
-            if deliver(exploit, victim, rng=rng).got_root_shell:
-                successes += 1
-                victim.restart()
-        cells.append(
-            ReliabilityCell(
-                technique=label,
-                arch=arch,
-                victim_profile=victim_profile.label(),
-                successes=successes,
-                trials=trials,
-                expectation=expectation,
-            )
-        )
-    return cells
+    from .parallel import run_tasks
+
+    tasks = [(index, trials, seed) for index in range(len(STUDY_PLAN))]
+    return run_tasks(_reliability_cell, tasks, workers=workers)

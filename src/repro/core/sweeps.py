@@ -9,14 +9,12 @@ shows the medians tracking the span as it grows 16 → 1024 pages.
 
 from __future__ import annotations
 
-import random
 import statistics
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
-from ..connman import ConnmanDaemon
-from ..defenses import WX_ASLR
-from ..exploit import AslrBruteForcer
+from ..exploit import BruteForceTrial, run_bruteforce_trial
+from .parallel import run_tasks
 
 DEFAULT_ENTROPY_SERIES = (16, 64, 256, 1024)
 
@@ -61,25 +59,33 @@ def sweep_bruteforce_entropy(
     entropy_series: Sequence[int] = DEFAULT_ENTROPY_SERIES,
     runs_per_point: int = 5,
     seed: int = 0xE15,
+    *,
+    workers: Optional[int] = 1,
 ) -> List[EntropyPoint]:
-    """Median brute-force attempts as the randomization span grows."""
+    """Median brute-force attempts as the randomization span grows.
+
+    Every (entropy, run) trial carries its own derived seed, so the fan-out
+    is order-independent: ``workers=N`` produces the exact attempt lists of
+    the sequential sweep.
+    """
+    trials = [
+        BruteForceTrial(
+            victim_seed=seed ^ (entropy << 4) ^ run,
+            attacker_seed=(seed ^ (entropy << 4) ^ run) + 1,
+            max_attempts=entropy * 16,
+            entropy_pages=entropy,
+        )
+        for entropy in entropy_series
+        for run in range(runs_per_point)
+    ]
+    results = run_tasks(run_bruteforce_trial, trials, workers=workers)
     points: List[EntropyPoint] = []
-    for entropy in entropy_series:
-        attempts: List[int] = []
-        for run in range(runs_per_point):
-            run_seed = seed ^ (entropy << 4) ^ run
-            victim = ConnmanDaemon(
-                arch="x86",
-                profile=WX_ASLR.with_(aslr_entropy_pages=entropy),
-                rng=random.Random(run_seed),
-            )
-            forcer = AslrBruteForcer(
-                victim,
-                max_attempts=entropy * 16,
-                rng=random.Random(run_seed + 1),
-            )
-            result = forcer.run()
+    for index, entropy in enumerate(entropy_series):
+        slice_ = results[index * runs_per_point : (index + 1) * runs_per_point]
+        for run, result in enumerate(slice_):
             assert result.succeeded, (entropy, run)
-            attempts.append(result.attempts)
-        points.append(EntropyPoint(entropy_pages=entropy, attempts=attempts))
+        points.append(
+            EntropyPoint(entropy_pages=entropy,
+                         attempts=[result.attempts for result in slice_])
+        )
     return points

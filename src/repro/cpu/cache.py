@@ -1,0 +1,98 @@
+"""Per-process decoded-instruction cache shared by both emulator backends.
+
+Re-decoding every instruction on every step is the hot path of every
+exploit experiment (the fetch–decode–execute loops of E2–E4, E10, E15 and
+E16 all bottom out here).  The cache keys decoded :class:`Instruction`
+objects by address and validates each hit against two signals from the
+owning :class:`~repro.mem.space.AddressSpace`:
+
+* ``mapping_epoch`` — any map/unmap flushes the whole cache (a remap at
+  the same base is new code);
+* per-page write generations — a write to any page an instruction's bytes
+  span drops that entry, so self-modifying payloads (shellcode sprayed to
+  the stack, ASLR re-sprays) never execute stale decodes.
+
+Entries are only created after a successful ``fetch`` (the W^X
+enforcement point), and segment permissions are immutable once mapped, so
+a validated hit implies the X-check would pass again: attack outcomes are
+bit-identical with the cache on or off.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..mem.space import PAGE_SHIFT, AddressSpace
+from .isa import Instruction
+
+#: (instruction, mapping epoch, ((page, generation), ...)).
+_Entry = Tuple[Instruction, int, Tuple[Tuple[int, int], ...]]
+
+
+class DecodeCache:
+    """Address-keyed cache of decoded instructions with write invalidation."""
+
+    #: Process-construction default; tests flip this to pin that the cache
+    #: changes no experiment outcome.
+    enabled_by_default = True
+
+    __slots__ = ("memory", "enabled", "hits", "misses", "invalidations", "_entries")
+
+    def __init__(self, memory: AddressSpace, *, enabled: Optional[bool] = None):
+        self.memory = memory
+        self.enabled = DecodeCache.enabled_by_default if enabled is None else enabled
+        #: Validated cache hits (decoder skipped).
+        self.hits = 0
+        #: Decoder invocations — every ``record_decode`` call, so with the
+        #: cache disabled ``misses`` still counts decode() calls.
+        self.misses = 0
+        #: Entries dropped by epoch or page-generation mismatch.
+        self.invalidations = 0
+        self._entries: Dict[int, _Entry] = {}
+
+    def lookup(self, address: int) -> Optional[Instruction]:
+        """Return a still-valid cached instruction at ``address`` or None."""
+        if not self.enabled:
+            return None
+        entry = self._entries.get(address)
+        if entry is None:
+            return None
+        insn, epoch, page_gens = entry
+        memory = self.memory
+        if epoch != memory.mapping_epoch:
+            # The mapping table changed under us: everything is suspect.
+            self.invalidations += len(self._entries)
+            self._entries.clear()
+            return None
+        for page, generation in page_gens:
+            if memory.page_generation(page) != generation:
+                del self._entries[address]
+                self.invalidations += 1
+                return None
+        self.hits += 1
+        return insn
+
+    def record_decode(self, insn: Instruction) -> None:
+        """Note one decoder call, caching its result when enabled."""
+        self.misses += 1
+        if not self.enabled:
+            return
+        memory = self.memory
+        first = insn.address >> PAGE_SHIFT
+        last = (insn.end - 1) >> PAGE_SHIFT
+        self._entries[insn.address] = (
+            insn,
+            memory.mapping_epoch,
+            tuple((page, memory.page_generation(page)) for page in range(first, last + 1)),
+        )
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "on" if self.enabled else "off"
+        return (f"DecodeCache({state}, {len(self._entries)} entries, "
+                f"hits={self.hits}, misses={self.misses})")

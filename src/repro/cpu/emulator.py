@@ -12,6 +12,7 @@ them like the paper does.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Optional
 
 from ..mem import MemoryFault
@@ -57,6 +58,11 @@ class Emulator:
 
     def __init__(self, process: Process):
         self.process = process
+        #: Optional per-step wall-time histogram (an object with
+        #: ``observe(value)``; values in microseconds).  Left unset on the
+        #: normal path so observed traces stay deterministic — only the
+        #: benchmark harness opts in.
+        self.step_timer = None
 
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
@@ -64,17 +70,17 @@ class Emulator:
     def _peek_text(self, address: int) -> str:
         """Best-effort disassembly of the next instruction (tracing only)."""
         try:
+            memory = self.process.memory
             if self.process.arch == "x86":
                 from .x86.disasm import decode
 
-                segment = self.process.memory.segment_at(address)
-                window = self.process.memory.read(
-                    address, min(5, segment.end - address), check=False
+                window = memory.read(
+                    address, memory.contiguous_span(address, 5), check=False
                 )
                 return decode(window, address, strict=False).text()
             from .arm.disasm import decode
 
-            window = self.process.memory.read(address, 4, check=False)
+            window = memory.read(address, 4, check=False)
             return decode(window, address, strict=False).text()
         except Exception:
             return "(unreadable)"
@@ -82,6 +88,9 @@ class Emulator:
     def run(self, max_steps: int = DEFAULT_STEP_BUDGET) -> ExecutionResult:
         process = self.process
         trace = getattr(process, "trace", None)
+        cache = process.decode_cache
+        hits_before, misses_before = cache.hits, cache.misses
+        timer = self.step_timer
         steps = 0
         try:
             while steps < max_steps:
@@ -93,7 +102,12 @@ class Emulator:
                 else:
                     if trace is not None:
                         trace.record(process.pc, "insn", self._peek_text(process.pc))
-                    self.step()
+                    if timer is not None:
+                        started = perf_counter()
+                        self.step()
+                        timer.observe((perf_counter() - started) * 1e6)
+                    else:
+                        self.step()
                 steps += 1
             raise EmulationBudgetExceeded(max_steps)
         except _EmulationStop as stop:
@@ -101,6 +115,11 @@ class Emulator:
         except (MemoryFault, CpuError) as fault:
             process.record_exit(code=139, signal=fault.signal)
             return ExecutionResult("fault", steps, str(fault), fault=fault)
+        finally:
+            observer = process.observer
+            if observer is not None:
+                observer.inc("decode_cache_hits", cache.hits - hits_before)
+                observer.inc("decode_cache_misses", cache.misses - misses_before)
 
 
 def make_emulator(process: Process) -> Emulator:

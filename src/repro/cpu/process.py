@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..mem import AddressSpace
+from .cache import DecodeCache
 from .isa import check_arch
 from .registers import RegisterFile, make_registers, pc_register, sp_register
 
@@ -65,6 +66,12 @@ class Process:
         #: Optional TraceRecorder; the emulator records executed
         #: instructions and native calls into it when set.
         self.trace = None
+        #: Decoded-instruction cache shared by every emulator run over this
+        #: process (write-invalidated; see :mod:`repro.cpu.cache`).
+        self.decode_cache = DecodeCache(memory)
+        #: Optional obs Collector; the emulator flushes decode-cache
+        #: counters into it at the end of each run.
+        self.observer = None
         self._pc_name = pc_register(arch)
         self._sp_name = sp_register(arch)
 

@@ -22,10 +22,14 @@ class X86Emulator(Emulator):
     arch = "x86"
 
     def _fetch_window(self, address: int) -> bytes:
-        """Fetch up to MAX_INSN_LEN bytes without crossing the segment end."""
-        segment = self.process.memory.segment_at(address)
-        length = min(MAX_INSN_LEN, segment.end - address)
-        return self.process.memory.fetch(address, length)
+        """Fetch up to MAX_INSN_LEN bytes, spanning contiguous mapped segments.
+
+        An instruction that straddles two back-to-back executable segments
+        must decode; the window only stops early at a genuine mapping gap
+        (where the truncated decode then faults like the hardware would).
+        """
+        memory = self.process.memory
+        return memory.fetch(address, memory.contiguous_span(address, MAX_INSN_LEN))
 
     def _set_zf(self, result: int) -> None:
         flags = self.process.registers["eflags"]
@@ -39,9 +43,11 @@ class X86Emulator(Emulator):
         return bool(self.process.registers["eflags"] & ZF_BIT)
 
     def _write_reg8(self, name: str, value: int) -> None:
+        # Hardware encoding: al cl dl bl are the low bytes of eax ecx edx
+        # ebx, and ah ch dh bh the high bytes of the *same four* parents.
         index = X86_REG8.index(name)
-        parent = X86_REGISTERS[index % 4] if index < 4 else X86_REGISTERS[index - 4]
-        shift = 0 if index < 4 else 8
+        parent = X86_REGISTERS[index & 3]
+        shift = 8 if index >= 4 else 0
         current = self.process.registers[parent]
         mask = ~(0xFF << shift) & MASK32
         self.process.registers[parent] = (current & mask) | ((value & 0xFF) << shift)
@@ -49,7 +55,11 @@ class X86Emulator(Emulator):
     def step(self) -> None:
         process = self.process
         address = process.pc
-        insn = decode(self._fetch_window(address), address, strict=True)
+        cache = process.decode_cache
+        insn = cache.lookup(address)
+        if insn is None:
+            insn = decode(self._fetch_window(address), address, strict=True)
+            cache.record_decode(insn)
         self._execute(insn)
 
     def _execute(self, insn: Instruction) -> None:

@@ -3,13 +3,22 @@
 from __future__ import annotations
 
 import struct
-from typing import Iterable, Iterator, List, Optional
+from bisect import bisect_right
+from typing import Dict, Iterable, Iterator, List, Optional
 
 from .errors import UnmappedAddressError
 from .perms import Perm
 from .segment import Segment
 
 ADDRESS_MASK = 0xFFFFFFFF
+
+#: log2(PAGE_SIZE); page indices key the write-generation table consumed by
+#: the decoded-instruction cache (:mod:`repro.cpu.cache`).
+PAGE_SHIFT = 12
+
+#: Safety valve: the address->segment memo resets past this many entries so
+#: a pathological scan over the whole 32-bit space cannot hold memory.
+_MEMO_LIMIT = 1 << 16
 
 
 class AddressSpace:
@@ -24,6 +33,23 @@ class AddressSpace:
 
     def __init__(self) -> None:
         self._segments: List[Segment] = []
+        #: Sorted segment bases, kept in lockstep with ``_segments`` for
+        #: bisect-based resolution.
+        self._bases: List[int] = []
+        #: address -> segment memo for :meth:`segment_at`; cleared whenever
+        #: the mapping table changes.
+        self._lookup_memo: Dict[int, Segment] = {}
+        #: Bumped on every map/unmap.  Consumers holding derived state (the
+        #: decode cache, the lookup memo) treat an epoch change as a flush.
+        self.mapping_epoch = 0
+        #: page index -> write generation; bumped by :meth:`write` so cached
+        #: decodes of self-modified code are detected and dropped.
+        self._page_gens: Dict[int, int] = {}
+
+    def _mappings_changed(self) -> None:
+        self._bases = [seg.base for seg in self._segments]
+        self._lookup_memo.clear()
+        self.mapping_epoch += 1
 
     # -- mapping -------------------------------------------------------------
 
@@ -37,6 +63,7 @@ class AddressSpace:
                 )
         self._segments.append(segment)
         self._segments.sort(key=lambda seg: seg.base)
+        self._mappings_changed()
         return segment
 
     def map_new(self, name: str, base: int, size: int, perm: Perm) -> Segment:
@@ -44,10 +71,23 @@ class AddressSpace:
         return self.map(Segment(name, base, size, perm))
 
     def unmap(self, name: str) -> None:
-        before = len(self._segments)
-        self._segments = [seg for seg in self._segments if seg.name != name]
-        if len(self._segments) == before:
+        """Unmap the segment named ``name``.
+
+        Raises :class:`KeyError` when no segment matches, and refuses to
+        guess when several segments share the name — callers that mapped
+        duplicates must unmap by a disambiguated handle, not silently lose
+        every mapping at once.
+        """
+        matches = [seg for seg in self._segments if seg.name == name]
+        if not matches:
             raise KeyError(f"no segment named {name!r}")
+        if len(matches) > 1:
+            spans = ", ".join(seg.describe() for seg in matches)
+            raise ValueError(
+                f"segment name {name!r} is ambiguous ({len(matches)} mappings: {spans})"
+            )
+        self._segments.remove(matches[0])
+        self._mappings_changed()
 
     def segments(self) -> Iterator[Segment]:
         return iter(self._segments)
@@ -62,11 +102,56 @@ class AddressSpace:
         return any(seg.name == name for seg in self._segments)
 
     def segment_at(self, address: int) -> Segment:
-        """Return the segment covering ``address`` or fault."""
-        for seg in self._segments:
+        """Return the segment covering ``address`` or fault.
+
+        Resolution is a bisect over the sorted base list plus a memo of
+        previously resolved addresses (the emulator's fetch stream revisits
+        the same handful of addresses millions of times); both are
+        invalidated whenever the mapping table changes.
+        """
+        seg = self._lookup_memo.get(address)
+        if seg is not None:
+            return seg
+        index = bisect_right(self._bases, address) - 1
+        if index >= 0:
+            seg = self._segments[index]
             if seg.contains(address):
+                if len(self._lookup_memo) >= _MEMO_LIMIT:
+                    self._lookup_memo.clear()
+                self._lookup_memo[address] = seg
                 return seg
         raise UnmappedAddressError(address & ADDRESS_MASK)
+
+    def contiguous_span(self, address: int, limit: int) -> int:
+        """Mapped bytes reachable from ``address`` without a gap, capped at ``limit``.
+
+        Instruction fetches use this to size their decode window: an
+        instruction may straddle two *adjacent* segments (e.g. two
+        back-to-back executable mappings) but must never read across a hole.
+        Faults when ``address`` itself is unmapped.
+        """
+        address &= ADDRESS_MASK
+        seg = self.segment_at(address)
+        span = seg.end - address
+        while span < limit:
+            try:
+                seg = self.segment_at(seg.end)
+            except UnmappedAddressError:
+                break
+            span += seg.size
+        return min(span, limit)
+
+    def page_generation(self, page: int) -> int:
+        """Write generation of one page (``address >> PAGE_SHIFT``)."""
+        return self._page_gens.get(page, 0)
+
+    def _note_write(self, address: int, length: int) -> None:
+        """Bump the write generation of every page the write touched."""
+        if length <= 0:
+            return
+        page_gens = self._page_gens
+        for page in range(address >> PAGE_SHIFT, ((address + length - 1) >> PAGE_SHIFT) + 1):
+            page_gens[page] = page_gens.get(page, 0) + 1
 
     def is_mapped(self, address: int, length: int = 1) -> bool:
         """True if the whole ``[address, address+length)`` range is mapped."""
@@ -110,7 +195,12 @@ class AddressSpace:
         address &= ADDRESS_MASK
         cursor = address
         offset = 0
-        for seg in self._resolve(address, len(payload)):
+        covering = self._resolve(address, len(payload))
+        # Bump generations before writing: a permission fault mid-span may
+        # leave earlier segments modified, and a spurious invalidation is
+        # harmless while a missed one would execute stale decodes.
+        self._note_write(address, len(payload))
+        for seg in covering:
             take = min(len(payload) - offset, seg.end - cursor)
             seg.write(cursor, payload[offset : offset + take], check=check)
             cursor += take

@@ -61,6 +61,28 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's observations into this one.
+
+        Merging is commutative and associative (sums and bucket adds), so
+        parallel workers' histograms merge to the same totals regardless of
+        completion order.
+        """
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"histogram {self.name}: merge with mismatched buckets "
+                f"{other.bounds} != {self.bounds}"
+            )
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None:
+            self.min = other.min if self.min is None else min(self.min, other.min)
+        if other.max is not None:
+            self.max = other.max if self.max is None else max(self.max, other.max)
+        self.bucket_counts = [
+            mine + theirs for mine, theirs in zip(self.bucket_counts, other.bucket_counts)
+        ]
+
     def to_dict(self) -> dict:
         return {
             "name": self.name,
@@ -107,6 +129,18 @@ class MetricsRegistry:
         """Current count for ``name`` (0 if never incremented)."""
         counter = self._counters.get(name)
         return counter.value if counter is not None else 0
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in: counters add, histograms merge.
+
+        The parallel sweep runner ships each worker's registry back (plain
+        picklable objects) and merges them in task order, reproducing the
+        sequential run's counter totals exactly.
+        """
+        for name, counter in other._counters.items():
+            self.counter(name).inc(counter.value)
+        for name, histogram in other._histograms.items():
+            self.histogram(name, histogram.bounds).merge(histogram)
 
     def counters(self) -> Dict[str, int]:
         return {name: counter.value for name, counter in sorted(self._counters.items())}

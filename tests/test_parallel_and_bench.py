@@ -1,0 +1,150 @@
+"""Parallel sweep runner determinism and the benchmark baseline."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core import (
+    collect_baseline,
+    resolve_workers,
+    run_chaos_sweep,
+    run_reliability_study,
+    run_tasks,
+    sweep_bruteforce_entropy,
+    validate_baseline,
+)
+from repro.core.experiments import e10_bruteforce
+from repro.obs import Collector
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "benchmarks" / "BENCH.json"
+
+
+def _square(value):
+    return value * value
+
+
+class TestRunTasks:
+    def test_results_positional_sequential(self):
+        assert run_tasks(_square, [3, 1, 4, 1, 5], workers=1) == [9, 1, 16, 1, 25]
+
+    def test_results_positional_parallel(self):
+        assert run_tasks(_square, list(range(20)), workers=2) == [
+            value * value for value in range(20)
+        ]
+
+    def test_empty_task_list(self):
+        assert run_tasks(_square, [], workers=4) == []
+
+    def test_resolve_workers(self):
+        assert resolve_workers(3) == 3
+        assert resolve_workers(1) == 1
+        assert resolve_workers(None) >= 1
+        assert resolve_workers(0) >= 1
+
+
+class TestParallelParity:
+    """workers=N must reproduce the sequential results bit for bit."""
+
+    def test_entropy_sweep_parallel_matches_sequential(self):
+        kwargs = dict(entropy_series=(16, 64), runs_per_point=2)
+        sequential = sweep_bruteforce_entropy(workers=1, **kwargs)
+        parallel = sweep_bruteforce_entropy(workers=2, **kwargs)
+        assert [point.attempts for point in parallel] == \
+               [point.attempts for point in sequential]
+
+    def test_chaos_sweep_parallel_matches_sequential(self):
+        kwargs = dict(queries_per_rate=6, attack_budget=6)
+        sequential = run_chaos_sweep((0.0, 0.4), workers=1, **kwargs)
+        parallel = run_chaos_sweep((0.0, 0.4), workers=2, **kwargs)
+        assert parallel.cells == sequential.cells
+
+    def test_chaos_sweep_parallel_merges_worker_metrics(self):
+        kwargs = dict(queries_per_rate=6, attack_budget=6)
+        seq_collector, par_collector = Collector(), Collector()
+        sequential = run_chaos_sweep((0.0, 0.4), workers=1,
+                                     observer=seq_collector, **kwargs)
+        parallel = run_chaos_sweep((0.0, 0.4), workers=2,
+                                   observer=par_collector, **kwargs)
+        assert parallel.cells == sequential.cells
+        assert par_collector.metrics.counters() == seq_collector.metrics.counters()
+
+    def test_reliability_study_parallel_matches_sequential(self):
+        sequential = run_reliability_study(trials=2, workers=1)
+        parallel = run_reliability_study(trials=2, workers=2)
+        assert parallel == sequential
+
+    def test_e10_parallel_matches_sequential(self):
+        sequential = e10_bruteforce(max_attempts=512, workers=1)
+        parallel = e10_bruteforce(max_attempts=512, workers=2)
+        assert parallel.rows == sequential.rows
+
+
+class TestMetricsMerge:
+    def test_counter_merge_adds(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.inc("a", 3)
+        right.inc("a", 4)
+        right.inc("b", 1)
+        left.merge(right)
+        assert left.counters() == {"a": 7, "b": 1}
+
+    def test_histogram_merge_sums_observations(self):
+        left = Histogram("lat", (1.0, 10.0))
+        right = Histogram("lat", (1.0, 10.0))
+        left.observe(0.5)
+        right.observe(5.0)
+        right.observe(50.0)
+        left.merge(right)
+        assert left.count == 3
+        assert left.total == 55.5
+        assert left.min == 0.5
+        assert left.max == 50.0
+        assert left.bucket_counts == [1, 1, 1]
+
+    def test_histogram_merge_rejects_mismatched_buckets(self):
+        left = Histogram("lat", (1.0, 10.0))
+        right = Histogram("lat", (1.0, 5.0))
+        with pytest.raises(ValueError, match="mismatched"):
+            left.merge(right)
+
+    def test_registry_merge_is_order_independent(self):
+        def worker_registry(seed):
+            registry = MetricsRegistry()
+            registry.inc("events", seed)
+            registry.observe("lat", float(seed))
+            return registry
+
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        for seed in (1, 2, 3):
+            forward.merge(worker_registry(seed))
+        for seed in (3, 2, 1):
+            backward.merge(worker_registry(seed))
+        assert forward.to_dict() == backward.to_dict()
+
+
+class TestBench:
+    def test_collect_baseline_validates_and_beats_ratio_floor(self):
+        payload = validate_baseline(collect_baseline(steps=1200))
+        for entry in payload["benchmarks"]:
+            assert entry["decode_call_ratio"] >= 3.0
+            assert entry["baseline"]["decode_calls"] == 1200
+            assert entry["cached"]["decode_calls"] < 1200 / 3
+
+    def test_committed_baseline_validates(self):
+        assert BENCH_PATH.exists(), "benchmarks/BENCH.json must be committed"
+        payload = validate_baseline(json.loads(BENCH_PATH.read_text()))
+        assert {entry["arch"] for entry in payload["benchmarks"]} == {"x86", "arm"}
+        for entry in payload["benchmarks"]:
+            assert entry["wall_speedup"] > 1.0
+
+    def test_validate_rejects_wrong_schema(self):
+        with pytest.raises(ValueError, match="schema"):
+            validate_baseline({"schema": "nope", "benchmarks": []})
+
+    def test_validate_rejects_cache_that_never_hit(self):
+        payload = collect_baseline(steps=1200)
+        payload["benchmarks"][0]["decode_call_ratio"] = 1.0
+        with pytest.raises(ValueError, match="acceptance floor"):
+            validate_baseline(payload)
