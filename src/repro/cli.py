@@ -18,6 +18,9 @@
     python -m repro trace-events --json     # observed chaos point: event trace
     python -m repro metrics --json          # same run, metrics registry
     python -m repro pcap                    # faulty LAN capture, reprocap text
+    python -m repro spans                   # span tree of one wire-to-verdict attack
+    python -m repro trace-export --chrome   # Perfetto-loadable Chrome trace JSON
+    python -m repro postmortem              # forced crash, gdb-style crash report
 """
 
 from __future__ import annotations
@@ -335,6 +338,61 @@ def cmd_metrics(args) -> int:
     return 0
 
 
+def _observed_attack_run(args):
+    """One span-traced wire-to-verdict attack (the tracing CLI's scenario)."""
+    from .core import run_observed_attack
+
+    return run_observed_attack(arch=args.arch, level_label=args.level,
+                               seed=args.seed)
+
+
+def cmd_spans(args) -> int:
+    """Render the span tree of one observed end-to-end attack."""
+    import json
+
+    run = _observed_attack_run(args)
+    if args.json:
+        print(json.dumps(run.collector.tracer.to_dicts(), indent=2))
+    else:
+        verdict = run.event.kind.value if run.event is not None else run.error
+        print(f"{run.exploit.name if run.exploit else '(no exploit)'} -> {verdict}")
+        print(run.collector.tracer.render_tree())
+    return 0
+
+
+def cmd_trace_export(args) -> int:
+    """Export one observed attack as Chrome trace-event JSON (Perfetto)."""
+    import json
+
+    from .obs import export_chrome_trace, validate_chrome_trace
+
+    run = _observed_attack_run(args)
+    document = export_chrome_trace(run.collector)
+    validate_chrome_trace(document)
+    print(json.dumps(document, indent=None if args.compact else 2))
+    return 0
+
+
+def cmd_postmortem(args) -> int:
+    """Force the CVE-2017-12865 crash and print its crash report."""
+    import json
+
+    from .core import run_forced_crash
+
+    run = run_forced_crash(arch=args.arch, seed=args.seed)
+    report = run.collector.last_postmortem
+    if report is None:
+        print("no crash captured (daemon survived?)", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+        print()
+        print(run.collector.tracer.render_tree())
+    return 0
+
+
 def cmd_pcap(args) -> int:
     """Capture a faulty LAN exchange and print the reprocap text document."""
     from .dns import SimpleDnsServer, make_query
@@ -486,6 +544,35 @@ def build_parser() -> argparse.ArgumentParser:
         "metrics", help="counters/histograms from an observed chaos point")
     _add_observed_args(metrics)
     metrics.set_defaults(run=cmd_metrics)
+
+    def _add_attack_args(sub: argparse.ArgumentParser) -> None:
+        _add_arch(sub)
+        _add_level(sub)
+        sub.add_argument("--seed", type=int, default=0x0B5E)
+        sub.add_argument("--json", action="store_true", help="machine-readable output")
+
+    spans = subparsers.add_parser(
+        "spans", help="span tree of one wire-to-verdict observed attack")
+    _add_attack_args(spans)
+    spans.set_defaults(run=cmd_spans)
+
+    trace_export = subparsers.add_parser(
+        "trace-export", help="Chrome trace-event JSON of an observed attack")
+    _add_attack_args(trace_export)
+    trace_export.add_argument(
+        "--chrome", action="store_true",
+        help="emit Chrome trace-event JSON (the default and only format)")
+    trace_export.add_argument("--compact", action="store_true",
+                              help="single-line JSON")
+    trace_export.set_defaults(run=cmd_trace_export)
+
+    postmortem = subparsers.add_parser(
+        "postmortem", help="force the CVE-2017-12865 crash, print forensics")
+    _add_arch(postmortem)
+    postmortem.add_argument("--seed", type=int, default=0xC4A5)
+    postmortem.add_argument("--json", action="store_true",
+                            help="machine-readable output")
+    postmortem.set_defaults(run=cmd_postmortem)
 
     pcap = subparsers.add_parser(
         "pcap", help="reprocap text capture of a faulty LAN exchange")

@@ -128,7 +128,32 @@ class ConnmanDaemon:
     def handle_upstream_reply(
         self, reply: Optional[bytes], expected_id: Optional[int] = None
     ) -> DaemonEvent:
-        """Feed one upstream reply through the vulnerable parser."""
+        """Feed one upstream reply through the vulnerable parser.
+
+        When observed, parsing runs under a ``daemon.parse`` span whose
+        ``payload`` attribute snapshots the exact reply bytes.  A crash
+        inside the parse therefore yields a :class:`CrashReport` whose
+        causal link resolves to the offending datagram.
+        """
+        if self.observer is None:
+            return self._handle_upstream_reply(reply, expected_id)
+        tracer = self.observer.tracer
+        span = tracer.start("daemon.parse", daemon=self.name,
+                            bytes=0 if reply is None else len(reply))
+        if reply is not None:
+            from ..obs.spans import snapshot_payload
+
+            span.attrs["payload"] = snapshot_payload(reply)
+        try:
+            event = self._handle_upstream_reply(reply, expected_id)
+            span.attrs["outcome"] = event.kind.value
+            return event
+        finally:
+            tracer.end(span)
+
+    def _handle_upstream_reply(
+        self, reply: Optional[bytes], expected_id: Optional[int] = None
+    ) -> DaemonEvent:
         if not self.alive:
             return DaemonEvent(kind=EventKind.DROPPED, detail="daemon is down")
         if reply is None:
@@ -149,10 +174,34 @@ class ConnmanDaemon:
                                    detail=event.detail[:64])
                 self.observer.inc("daemon.compromises")
             elif self.crashed:
-                self.observer.emit("daemon", "daemon.crash", name=self.name,
-                                   outcome=event.kind.value, detail=event.detail[:64])
+                report = self._capture_postmortem(event, reply)
+                crash_detail = {"name": self.name, "outcome": event.kind.value,
+                                "detail": event.detail[:64]}
+                if report is not None:
+                    crash_detail["postmortem"] = report.to_dict()
+                self.observer.emit("daemon", "daemon.crash", **crash_detail)
                 self.observer.inc("daemon.crashes")
         return event
+
+    def _capture_postmortem(self, event: DaemonEvent, reply: bytes):
+        """Attach crash forensics to a fatal event; never raises."""
+        from ..obs.postmortem import capture_crash_report
+        from ..obs.spans import snapshot_payload
+
+        report = getattr(event.execution, "postmortem", None)
+        if report is None and self.loaded is not None:
+            report = capture_crash_report(
+                self.loaded.process,
+                signal=event.signal or "SIGSEGV",
+                reason=event.detail,
+                tracer=self.observer.tracer,
+                datagram=reply,
+            )
+        if report is not None and report.datagram_hex is None:
+            report.datagram_hex = snapshot_payload(reply)
+        if report is not None:
+            self.observer.record_postmortem(report)
+        return report
 
     def handle_client_query(self, packet: bytes, upstream: Transport) -> Optional[bytes]:
         """Full proxy path: local client query -> cache or upstream -> answer.
@@ -160,7 +209,25 @@ class ConnmanDaemon:
         ``upstream`` is any :data:`Transport`; pass a
         :class:`~repro.dns.ResilientResolver` to get retry/failover and —
         when every upstream is dark — serve-stale answers from the cache.
+
+        When observed, the whole exchange nests under a
+        ``daemon.handle_query`` span — continuing the ``net.deliver``
+        trace context when the query arrived over a simulated wire.
         """
+        if self.observer is None:
+            return self._handle_client_query(packet, upstream)
+        tracer = self.observer.tracer
+        span = tracer.start("daemon.handle_query", daemon=self.name,
+                            bytes=len(packet))
+        try:
+            answer = self._handle_client_query(packet, upstream, span)
+            span.attrs["answered"] = answer is not None
+            return answer
+        finally:
+            tracer.end(span)
+
+    def _handle_client_query(self, packet: bytes, upstream: Transport,
+                             span=None) -> Optional[bytes]:
         if not self.alive:
             return None
         try:
@@ -170,8 +237,12 @@ class ConnmanDaemon:
         if query.is_response or not query.questions:
             return None
         question = query.questions[0]
+        if span is not None:
+            span.attrs["query"] = question.name
         cached = self.cache.get(question.name)
         if cached is not None:
+            if span is not None:
+                span.attrs["outcome"] = "cache-hit"
             answer = ResourceRecord.a(question.name, cached)
             return make_response(query, (answer,)).encode()
         self._pending_id = query.id

@@ -219,12 +219,13 @@ def run_chaos_point(
     )
 
 
-def _chaos_point_task(task: Tuple) -> Tuple[ChaosCell, Optional["MetricsRegistry"]]:
+def _chaos_point_task(task: Tuple) -> Tuple[ChaosCell, Optional["MetricsRegistry"], Optional[list]]:
     """Worker for the parallel sweep: one fully seeded chaos point.
 
     Module-level (pool-picklable).  When the sweep is observed, the worker
-    runs with its own collector and ships its metrics registry back for the
-    parent to merge — counter totals match the sequential run exactly.
+    runs with its own collector and ships its metrics registry and span
+    list back for the parent to merge — counter totals and the span forest
+    match the sequential run exactly.
     """
     level, point_seed, queries, attack_budget, entropy_pages, start_limit_burst, observed = task
     collector = Collector() if observed else None
@@ -237,7 +238,9 @@ def _chaos_point_task(task: Tuple) -> Tuple[ChaosCell, Optional["MetricsRegistry
         start_limit_burst=start_limit_burst,
         observer=collector,
     )
-    return cell, collector.metrics if collector is not None else None
+    if collector is None:
+        return cell, None, None
+    return cell, collector.metrics, collector.tracer.spans
 
 
 def run_chaos_sweep(
@@ -259,9 +262,11 @@ def run_chaos_sweep(
 
     ``workers>1`` fans the points out over the parallel runner: cells are
     identical to the sequential sweep (each point is seeded independently),
-    and when observed, worker metrics are merged into ``observer`` in point
-    order.  Event traces stay per-worker in that mode — only the sequential
-    path streams events into the parent collector.
+    and when observed, worker metrics and span trees are merged into
+    ``observer`` in point order (span ids are rebased so the merged forest
+    matches the sequential sweep's exactly).  Event traces stay per-worker
+    in that mode — only the sequential path streams events into the parent
+    collector.
     """
     report = ReliabilityReport(seed=seed)
     if resolve_workers(workers) > 1 and len(rates) > 1:
@@ -270,10 +275,14 @@ def run_chaos_sweep(
              entropy_pages, start_limit_burst, observer is not None)
             for index, level in enumerate(rates)
         ]
-        for cell, metrics in run_tasks(_chaos_point_task, tasks, workers=workers):
+        for cell, metrics, spans in run_tasks(_chaos_point_task, tasks, workers=workers):
             report.cells.append(cell)
             if observer is not None and metrics is not None:
                 observer.metrics.merge(metrics)
+            if observer is not None and spans:
+                # Deterministic merge: task order + id rebasing reproduce
+                # the sequential sweep's span forest exactly.
+                observer.tracer.adopt(spans)
     else:
         for index, level in enumerate(rates):
             report.cells.append(

@@ -13,11 +13,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from time import perf_counter
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..mem import MemoryFault
 from .events import CpuError, EmulationBudgetExceeded, _EmulationStop
 from .process import Process
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs.postmortem import CrashReport
 
 DEFAULT_STEP_BUDGET = 200_000
 
@@ -30,6 +33,10 @@ class ExecutionResult:
     steps: int
     detail: str = ""
     fault: Optional[BaseException] = None
+    #: Structured crash forensics, captured at fault time when the process
+    #: is observed (``process.observer`` set).  ``None`` on clean exits and
+    #: on unobserved runs.
+    postmortem: Optional["CrashReport"] = None
 
     @property
     def spawned(self) -> bool:
@@ -86,6 +93,39 @@ class Emulator:
             return "(unreadable)"
 
     def run(self, max_steps: int = DEFAULT_STEP_BUDGET) -> ExecutionResult:
+        """Execute until stop/fault/budget; observed runs get a ``cpu.run`` span.
+
+        When the process carries an observer, the whole run nests under a
+        ``cpu.run`` span (continuing whatever trace context the caller —
+        network delivery, daemon parse — left open), and a faulting run
+        captures a :class:`~repro.obs.postmortem.CrashReport` while the
+        registers and memory map are still exactly as the fault left them.
+        """
+        observer = self.process.observer
+        if observer is None:
+            return self._run_loop(max_steps)
+        tracer = observer.tracer
+        span = tracer.start("cpu.run", arch=self.process.arch,
+                            pc=f"{self.process.pc:#x}")
+        try:
+            result = self._run_loop(max_steps)
+            span.attrs["outcome"] = result.reason
+            span.attrs["steps"] = result.steps
+            if result.crashed:
+                span.attrs["signal"] = result.signal
+                from ..obs.postmortem import capture_crash_report
+
+                result.postmortem = capture_crash_report(
+                    self.process,
+                    signal=result.signal or "SIGSEGV",
+                    reason=result.detail,
+                    tracer=tracer,
+                )
+            return result
+        finally:
+            tracer.end(span)
+
+    def _run_loop(self, max_steps: int = DEFAULT_STEP_BUDGET) -> ExecutionResult:
         process = self.process
         trace = getattr(process, "trace", None)
         cache = process.decode_cache

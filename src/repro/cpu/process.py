@@ -69,8 +69,10 @@ class Process:
         #: Decoded-instruction cache shared by every emulator run over this
         #: process (write-invalidated; see :mod:`repro.cpu.cache`).
         self.decode_cache = DecodeCache(memory)
-        #: Optional obs Collector; the emulator flushes decode-cache
-        #: counters into it at the end of each run.
+        #: Optional obs Collector — the process's trace context.  The
+        #: emulator flushes decode-cache counters into it, nests each run
+        #: under a ``cpu.run`` span on its tracer, and captures crash
+        #: postmortems through it when a run faults.
         self.observer = None
         self._pc_name = pc_register(arch)
         self._sp_name = sp_register(arch)

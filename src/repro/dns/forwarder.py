@@ -23,9 +23,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from .message import Message
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs import Collector
 
 Transport = Callable[[bytes], Optional[bytes]]
 
@@ -45,6 +48,7 @@ class CachingForwarder:
     cache: Dict[Tuple[str, int], bytes] = field(default_factory=dict)
     served: int = 0
     forwarded: int = 0
+    observer: Optional["Collector"] = None
 
     def delegate(self, suffix: str, upstream: Transport) -> None:
         """Install (or poison...) a zone delegation."""
@@ -59,6 +63,12 @@ class CachingForwarder:
         return self.delegations[best] if best is not None else self.default_upstream
 
     def handle_query(self, packet: bytes) -> Optional[bytes]:
+        if self.observer is None:
+            return self._handle_query(packet)
+        with self.observer.tracer.span("dns.forward", bytes=len(packet)) as span:
+            return self._handle_query(packet, span)
+
+    def _handle_query(self, packet: bytes, span=None) -> Optional[bytes]:
         try:
             query = Message.decode(packet)
         except Exception:
@@ -67,14 +77,28 @@ class CachingForwarder:
             return None
         question = query.questions[0]
         key = (question.name.lower(), question.qtype)
+        if span is not None:
+            span.attrs["name"] = question.name
         cached = self.cache.get(key)
         if cached is not None:
             self.served += 1
+            if span is not None:
+                span.attrs["outcome"] = "hit"
+            if self.observer is not None:
+                self.observer.emit("dns", "forward.hit", name=question.name)
+                self.observer.inc("forwarder.hits")
             # Re-stamp the transaction id for this client.
             return packet[:2] + cached[2:]
         upstream = self.upstream_for(question.name)
         reply = upstream(packet)
         self.forwarded += 1
+        if span is not None:
+            span.attrs["outcome"] = "upstream"
+            span.attrs["answered"] = reply is not None
+        if self.observer is not None:
+            self.observer.emit("dns", "forward.upstream", name=question.name,
+                               answered=reply is not None)
+            self.observer.inc("forwarder.forwards")
         if reply is not None and len(reply) >= 12:
             self.cache[key] = reply
         return reply

@@ -97,7 +97,30 @@ class Network:
         duplicate copy's reply crosses the fault fabric like any other
         leg and is logged; the first answer still wins the socket, so
         only the first reply is returned to the sender.
+
+        When the network is observed, the whole traversal runs inside a
+        ``net.deliver`` span whose id is stamped into the datagram's
+        metadata (:attr:`UdpDatagram.span_id`) — the trace context every
+        downstream layer (daemon, emulator, crash forensics) continues.
         """
+        if self.observer is None:
+            return self._deliver(datagram)
+        tracer = self.observer.tracer
+        span = tracer.start(
+            "net.deliver",
+            src=f"{datagram.src_ip}:{datagram.src_port}",
+            dst=f"{datagram.dst_ip}:{datagram.dst_port}",
+            bytes=len(datagram.payload),
+            network=self.name,
+        )
+        try:
+            return self._deliver(replace(datagram, span_id=span.span_id), span)
+        finally:
+            tracer.end(span)
+
+    def _deliver(self, datagram: UdpDatagram, span=None) -> Optional[bytes]:
+        from ..obs.spans import snapshot_payload
+
         payload = datagram.payload
         duplicated = False
         fault_kind = DELIVERED
@@ -106,6 +129,8 @@ class Network:
                 payload, src=datagram.src_ip, dst=datagram.dst_ip
             )
             if payload is None:
+                if span is not None:
+                    span.attrs.update(fault=record.kind, outcome="dropped")
                 if self.observer is not None:
                     self.observer.emit(
                         "net", "packet.drop",
@@ -118,6 +143,11 @@ class Network:
                 return None
             duplicated = record.kind == DUPLICATE
             fault_kind = record.kind
+        if span is not None:
+            # Post-fault bytes: what the receiving handler actually saw.
+            span.attrs["payload"] = snapshot_payload(payload)
+            if fault_kind != DELIVERED:
+                span.attrs["fault"] = fault_kind
         delivered = (datagram if payload == datagram.payload
                      else replace(datagram, payload=payload))
         self._log_leg(delivered, "packet.tx", fault_kind)

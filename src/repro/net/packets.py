@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Optional
 
 DNS_PORT = 53
 DHCP_SERVER_PORT = 67
@@ -15,6 +16,11 @@ class UdpDatagram:
     dst_ip: str
     dst_port: int
     payload: bytes
+    #: Trace context: id of the ``net.deliver`` span carrying this datagram,
+    #: stamped by :meth:`Network.deliver` when the network is observed.
+    #: Metadata only — excluded from equality/repr so observation never
+    #: changes how datagrams compare or round-trip through captures.
+    span_id: Optional[int] = field(default=None, compare=False, repr=False)
 
     def describe(self) -> str:
         return (

@@ -1,12 +1,16 @@
-"""Observability: event tracing, metrics, and capture export.
+"""Observability: event tracing, spans, metrics, forensics, capture export.
 
 The layer the paper's diagnosis workflow needs (crash triage in §III,
 Pineapple capture in §VI): a deterministic, simulated-clock
 :class:`Collector` that the network fabric, fault engine, caches,
-daemon, supervisor, and brute forcer all report into — plus a text
+daemon, supervisor, emulators, and brute forcer all report into — flat
+events, counters/histograms, *causal spans* (one exploit attempt = one
+span tree from wire to verdict), structured :class:`CrashReport`
+postmortems, a Chrome trace-event exporter for Perfetto, and a text
 pcap format for the traffic log that round-trips through the sniffer.
 """
 
+from .chrome import chrome_trace_events, export_chrome_trace, validate_chrome_trace
 from .collector import Collector
 from .events import EventBus, TraceEvent
 from .metrics import Counter, Histogram, MetricsRegistry
@@ -18,11 +22,17 @@ from .pcap import (
     replay_network,
     sniff_capture,
 )
+from .postmortem import CrashReport, capture_crash_report
+from .spans import Span, Tracer, snapshot_payload
 
 __all__ = [
+    "capture_crash_report",
+    "chrome_trace_events",
     "Collector",
     "Counter",
+    "CrashReport",
     "EventBus",
+    "export_chrome_trace",
     "export_datagrams",
     "export_pcap_text",
     "Histogram",
@@ -31,5 +41,9 @@ __all__ = [
     "PcapFormatError",
     "replay_network",
     "sniff_capture",
+    "snapshot_payload",
+    "Span",
     "TraceEvent",
+    "Tracer",
+    "validate_chrome_trace",
 ]

@@ -1,34 +1,53 @@
-"""The collector: one simulated clock, one event bus, one metrics registry.
+"""The collector: one simulated clock, one event bus, one metrics registry,
+one span tracer, and the run's crash postmortems.
 
 Emitters throughout the stack (``Network``, ``FaultPolicy``, the caches,
-the daemon/supervisor, the brute forcer) accept an optional
+the daemon/supervisor, the emulators, the brute forcer) accept an optional
 ``observer=`` collector and stay byte-identical in behavior when it is
 ``None`` — observation never perturbs the run.  The clock only moves
 when a driver moves it (:meth:`advance` / :meth:`advance_to`), so
 timestamps are simulated seconds, not wall time, and two same-seed runs
-produce identical traces.
+produce identical traces, metrics, span trees, and postmortems.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Optional
+from typing import TYPE_CHECKING, Any, List, Optional
 
 from .events import EventBus, TraceEvent
 from .metrics import MetricsRegistry
+from .spans import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .postmortem import CrashReport
 
 
 class Collector:
-    """Bundle of clock + :class:`EventBus` + :class:`MetricsRegistry`."""
+    """Bundle of clock + :class:`EventBus` + :class:`MetricsRegistry` +
+    :class:`~repro.obs.spans.Tracer`."""
 
     def __init__(self, *, event_limit: int = 100_000):
         self.clock = 0.0
         self.bus = EventBus(limit=event_limit)
         self.metrics = MetricsRegistry()
+        self.tracer = Tracer(self)
+        #: Crash forensics captured during the run, oldest first.
+        self.postmortems: List["CrashReport"] = []
 
     # -- simulated time -------------------------------------------------------
 
     def advance(self, seconds: float) -> float:
+        """Move the clock forward by ``seconds`` (which must be >= 0).
+
+        A negative delta would move the clock backwards and silently break
+        the monotonic-timestamp invariant that :meth:`advance_to` guards,
+        so it is rejected loudly instead.
+        """
+        if seconds < 0:
+            raise ValueError(
+                f"collector clock cannot move backwards: advance({seconds!r})"
+            )
         self.clock += seconds
         return self.clock
 
@@ -44,16 +63,36 @@ class Collector:
 
         Every emit also bumps the ``events.<category>`` counter, so the
         metrics side always carries a coarse activity profile even when
-        a caller never touches the registry directly.
+        a caller never touches the registry directly.  Events emitted
+        while a span is open are stamped with that span's id, and ring-
+        buffer shedding is mirrored into the ``events.dropped`` counter
+        so it is never silent.
         """
         self.metrics.inc(f"events.{category}")
-        return self.bus.emit(category, kind, time=self.clock, **detail)
+        dropped_before = self.bus.dropped
+        event = self.bus.emit(
+            category, kind, time=self.clock, span=self.tracer.current_id, **detail
+        )
+        shed = self.bus.dropped - dropped_before
+        if shed:
+            self.metrics.inc("events.dropped", shed)
+        return event
 
     def inc(self, name: str, amount: int = 1) -> None:
         self.metrics.inc(name, amount)
 
     def observe(self, name: str, value: float) -> None:
         self.metrics.observe(name, value)
+
+    def record_postmortem(self, report: "CrashReport") -> "CrashReport":
+        """File one crash report; counted so triage tooling can find it."""
+        self.postmortems.append(report)
+        self.metrics.inc("crash.postmortems")
+        return report
+
+    @property
+    def last_postmortem(self) -> Optional["CrashReport"]:
+        return self.postmortems[-1] if self.postmortems else None
 
     # -- export ---------------------------------------------------------------
 
@@ -63,6 +102,8 @@ class Collector:
             "events": self.bus.to_dicts(last_events),
             "events_dropped": self.bus.dropped,
             "metrics": self.metrics.to_dict(),
+            "spans": self.tracer.to_dicts(),
+            "postmortems": [report.to_dict() for report in self.postmortems],
         }
 
     def to_json(self, *, last_events: Optional[int] = None, indent: int = 2) -> str:
@@ -72,5 +113,10 @@ class Collector:
         kinds = self.bus.kinds()
         top = ", ".join(f"{kind}={count}" for kind, count
                         in sorted(kinds.items(), key=lambda kv: (-kv[1], kv[0]))[:6])
-        return (f"collector: clock={self.clock:.1f}s, {len(self.bus)} events"
-                f" ({top or 'none'})")
+        text = (f"collector: clock={self.clock:.1f}s, {len(self.bus)} events"
+                f" ({top or 'none'}), {len(self.tracer.spans)} spans")
+        if self.bus.dropped:
+            text += f", {self.bus.dropped} events dropped"
+        if self.postmortems:
+            text += f", {len(self.postmortems)} postmortems"
+        return text

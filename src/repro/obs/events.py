@@ -23,9 +23,14 @@ category    kinds
 ``daemon``  ``daemon.boot`` ``daemon.restart`` ``daemon.crash``
             ``daemon.compromise`` ``supervisor.restart``
             ``supervisor.start_limit``
+``dns``     ``forward.hit`` ``forward.upstream``
 ``exploit`` ``exploit.attempt`` ``exploit.lost`` ``exploit.crash``
             ``exploit.success`` ``exploit.halt``
 ==========  =====================================================
+
+Events emitted while a :class:`~repro.obs.spans.Span` is open carry that
+span's id in :attr:`TraceEvent.span`, correlating the flat stream with
+the causal span tree without changing the detail payload.
 """
 
 from __future__ import annotations
@@ -44,18 +49,25 @@ class TraceEvent:
     category: str
     kind: str
     detail: Dict[str, Any] = field(default_factory=dict)
+    #: Id of the span that was open when the event fired (causal link).
+    span: Optional[int] = None
 
     def to_dict(self) -> dict:
-        return {
+        exported = {
             "seq": self.seq,
             "time": round(self.time, 6),
             "category": self.category,
             "kind": self.kind,
             "detail": dict(self.detail),
         }
+        if self.span is not None:
+            exported["span"] = self.span
+        return exported
 
     def describe(self) -> str:
         bits = " ".join(f"{key}={value}" for key, value in self.detail.items())
+        if self.span is not None:
+            bits = f"{bits} span=#{self.span}".strip()
         return f"#{self.seq:<5} t={self.time:<8.1f} [{self.category}] {self.kind} {bits}".rstrip()
 
 
@@ -76,9 +88,9 @@ class EventBus:
         self._subscribers: List[Callable[[TraceEvent], None]] = []
 
     def emit(self, category: str, kind: str, time: float = 0.0,
-             **detail: Any) -> TraceEvent:
+             span: Optional[int] = None, **detail: Any) -> TraceEvent:
         event = TraceEvent(seq=self._seq, time=time, category=category,
-                           kind=kind, detail=detail)
+                           kind=kind, detail=detail, span=span)
         self._seq += 1
         self.events.append(event)
         if len(self.events) > self.limit:

@@ -136,7 +136,18 @@ class MetricsRegistry:
         The parallel sweep runner ships each worker's registry back (plain
         picklable objects) and merges them in task order, reproducing the
         sequential run's counter totals exactly.
+
+        Every histogram's bucket bounds are validated *before* anything is
+        mutated: a mid-merge mismatch must not leave this registry with
+        half-merged counters, so the whole merge either applies or raises.
         """
+        for name, histogram in other._histograms.items():
+            mine = self._histograms.get(name)
+            if mine is not None and mine.bounds != histogram.bounds:
+                raise ValueError(
+                    f"registry merge: histogram {name!r} bucket bounds differ: "
+                    f"ours {mine.bounds} vs theirs {histogram.bounds}"
+                )
         for name, counter in other._counters.items():
             self.counter(name).inc(counter.value)
         for name, histogram in other._histograms.items():

@@ -1,0 +1,257 @@
+"""Causal span tracing over the simulated clock.
+
+A :class:`Span` is one timed, nestable unit of pipeline work — a datagram
+crossing the wire, the daemon parsing a reply, one emulator run, one
+exploit attempt — and a :class:`Tracer` (hung off the
+:class:`~repro.obs.collector.Collector`) maintains the *current-span
+stack* that turns the synchronous call tree into a causal tree: a span
+started while another is open becomes its child, so one exploit attempt
+is one connected tree from wire to verdict with no manual context
+threading.
+
+Where the call tree is broken by data (a datagram handed to another
+layer), the span id is stamped into the carrier — ``Network.deliver``
+writes it into :attr:`UdpDatagram.span_id` — so crash forensics can walk
+from a dead process back to the exact bytes that killed it.
+
+Determinism: span ids are a per-tracer monotonic counter and timestamps
+come from the collector's simulated clock, so two same-seed runs produce
+byte-identical span trees.  Worker processes ship their span lists back
+to the parent, which :meth:`Tracer.adopt`\\ s them in task order with a
+deterministic id rebase — parallel sweeps reproduce the sequential tree
+structure exactly.
+
+Span name taxonomy (name = ``layer.verb``):
+
+===========  =====================================================
+layer        spans
+===========  =====================================================
+``net``      ``net.deliver`` — one datagram's full traversal
+``dns``      ``dns.forward`` — shared-forwarder query handling
+``daemon``   ``daemon.handle_query`` ``daemon.parse``
+``cpu``      ``cpu.run`` — one emulation run (x86 and ARM)
+``exploit``  ``exploit.attempt`` ``exploit.deliver``
+===========  =====================================================
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+#: Largest payload snapshot kept in a span's attrs (bytes before hexing).
+#: Big enough for every DNS exploit blob in the repo; capped so long chaos
+#: runs cannot hoard memory through packet snapshots.
+PAYLOAD_SNAPSHOT_LIMIT = 4096
+
+
+@dataclass
+class Span:
+    """One nestable, simulated-clock-timed unit of pipeline work."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    start: float
+    end: Optional[float] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> Optional[float]:
+        return None if self.end is None else self.end - self.start
+
+    def to_dict(self) -> dict:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": round(self.start, 6),
+            "end": None if self.end is None else round(self.end, 6),
+            "duration": None if self.duration is None else round(self.duration, 6),
+            "attrs": dict(self.attrs),
+        }
+
+    def describe(self) -> str:
+        timing = f"t={self.start:.1f}"
+        if self.duration is not None:
+            timing += f" +{self.duration:.3f}s"
+        bits = " ".join(
+            f"{key}={value}" for key, value in self.attrs.items() if key != "payload"
+        )
+        return f"{self.name} #{self.span_id} [{timing}] {bits}".rstrip()
+
+
+def snapshot_payload(payload: bytes) -> str:
+    """Hex snapshot of wire bytes for span attrs / postmortems (capped)."""
+    return payload[:PAYLOAD_SNAPSHOT_LIMIT].hex()
+
+
+class Tracer:
+    """Span factory + current-span stack bound to one collector's clock.
+
+    The tracer never generates its own time or ids from the environment:
+    ids are a monotonic counter, timestamps are the collector's simulated
+    clock, and every completed span feeds the ``span.<name>.duration``
+    histogram — observation stays exactly as deterministic as the run.
+    """
+
+    def __init__(self, collector):
+        self._collector = collector
+        self.spans: List[Span] = []
+        self._by_id: Dict[int, Span] = {}
+        self._stack: List[Span] = []
+        self._next_id = 0
+
+    # -- the current-span stack ------------------------------------------------
+
+    @property
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    @property
+    def current_id(self) -> Optional[int]:
+        return self._stack[-1].span_id if self._stack else None
+
+    def start(self, name: str, **attrs: Any) -> Span:
+        """Open a span as a child of the current span (or a new root)."""
+        span = Span(
+            span_id=self._next_id,
+            parent_id=self.current_id,
+            name=name,
+            start=self._collector.clock,
+            attrs=attrs,
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        self._by_id[span.span_id] = span
+        self._stack.append(span)
+        return span
+
+    def end(self, span: Span, **attrs: Any) -> Span:
+        """Close a span at the current clock; feeds its duration histogram."""
+        if attrs:
+            span.attrs.update(attrs)
+        span.end = self._collector.clock
+        for index in range(len(self._stack) - 1, -1, -1):
+            if self._stack[index] is span:
+                del self._stack[index]
+                break
+        self._collector.metrics.observe(
+            f"span.{span.name}.duration", span.end - span.start
+        )
+        return span
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """``with tracer.span("daemon.handle_query"): ...`` — ends on exit."""
+        opened = self.start(name, **attrs)
+        try:
+            yield opened
+        finally:
+            self.end(opened)
+
+    # -- queries ---------------------------------------------------------------
+
+    def get(self, span_id: Optional[int]) -> Optional[Span]:
+        return None if span_id is None else self._by_id.get(span_id)
+
+    def children(self, span_id: Optional[int]) -> List[Span]:
+        return [span for span in self.spans if span.parent_id == span_id]
+
+    def roots(self) -> List[Span]:
+        return self.children(None)
+
+    def path(self, span_id: Optional[int] = None) -> List[str]:
+        """Span names from the root down to ``span_id`` (default: current)."""
+        span = self.get(span_id if span_id is not None else self.current_id)
+        names: List[str] = []
+        while span is not None:
+            names.append(span.name)
+            span = self.get(span.parent_id)
+        return list(reversed(names))
+
+    def nearest_payload_span(self) -> Optional[Span]:
+        """Innermost open span carrying a wire-payload snapshot.
+
+        Crash forensics use this to resolve "which datagram did this": the
+        delivery/parse spans stamp the post-fault bytes they carried into
+        their attrs, and the innermost one enclosing the crash is the
+        offending packet.
+        """
+        for span in reversed(self._stack):
+            if "payload" in span.attrs:
+                return span
+        return None
+
+    # -- merging (parallel sweep workers) --------------------------------------
+
+    def adopt(self, spans: Sequence[Span]) -> Dict[int, int]:
+        """Fold a worker tracer's span list in, rebasing ids deterministically.
+
+        Workers number spans from 0; adopting in task order renumbers them
+        with this tracer's counter, so a parallel sweep reproduces the
+        sequential run's ids and parent links exactly.  Parents precede
+        children in start order, so a single forward pass suffices.
+        """
+        id_map: Dict[int, int] = {}
+        for span in spans:
+            adopted = Span(
+                span_id=self._next_id,
+                parent_id=(
+                    id_map[span.parent_id] if span.parent_id is not None else None
+                ),
+                name=span.name,
+                start=span.start,
+                end=span.end,
+                attrs=dict(span.attrs),
+            )
+            id_map[span.span_id] = adopted.span_id
+            self._next_id += 1
+            self.spans.append(adopted)
+            self._by_id[adopted.span_id] = adopted
+        return id_map
+
+    # -- export ----------------------------------------------------------------
+
+    def to_dicts(self) -> List[dict]:
+        return [span.to_dict() for span in self.spans]
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dicts(), indent=indent)
+
+    def signature(self) -> Tuple:
+        """Structural fingerprint: (name, duration, children) per root.
+
+        Deliberately excludes span ids and absolute timestamps, so trees
+        produced under different clock offsets (parallel workers vs one
+        shared sequential clock) compare by shape and per-span cost.
+        """
+
+        def node(span: Span) -> Tuple:
+            duration = span.duration
+            return (
+                span.name,
+                None if duration is None else round(duration, 6),
+                tuple(node(child) for child in self.children(span.span_id)),
+            )
+
+        return tuple(node(root) for root in self.roots())
+
+    def render_tree(self) -> str:
+        """ASCII span forest, children indented under their parents."""
+        lines: List[str] = []
+
+        def walk(span: Span, prefix: str, is_last: bool) -> None:
+            connector = "└─ " if is_last else "├─ "
+            lines.append(prefix + connector + span.describe())
+            kids = self.children(span.span_id)
+            extension = "   " if is_last else "│  "
+            for index, child in enumerate(kids):
+                walk(child, prefix + extension, index == len(kids) - 1)
+
+        roots = self.roots()
+        for index, root in enumerate(roots):
+            walk(root, "", index == len(roots) - 1)
+        return "\n".join(lines) if lines else "(no spans)"

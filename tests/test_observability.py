@@ -87,6 +87,53 @@ class TestMetrics:
         assert parsed["counters"]["a.b"] == 1
         assert parsed["histograms"][0]["name"] == "c.d"
 
+    def test_registry_merge_mismatch_names_both_bound_tuples(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.histogram("lat", (1.0, 10.0))
+        right.histogram("lat", (1.0, 5.0))
+        with pytest.raises(ValueError) as excinfo:
+            left.merge(right)
+        assert "(1.0, 10.0)" in str(excinfo.value)
+        assert "(1.0, 5.0)" in str(excinfo.value)
+
+    def test_registry_merge_mismatch_mutates_nothing(self):
+        """A mid-merge bucket mismatch must not leave half-merged counters."""
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.inc("events", 3)
+        left.histogram("lat", (1.0, 10.0)).observe(0.5)
+        right.inc("events", 4)
+        right.histogram("lat", (1.0, 5.0)).observe(0.5)
+        with pytest.raises(ValueError):
+            left.merge(right)
+        assert left.counters() == {"events": 3}  # untouched, not 7
+        assert left.histogram("lat", (1.0, 10.0)).count == 1
+
+
+class TestCollectorClockAndShedding:
+    def test_negative_advance_is_rejected(self):
+        collector = Collector()
+        collector.advance(2.0)
+        with pytest.raises(ValueError, match="backwards"):
+            collector.advance(-0.5)
+        assert collector.clock == 2.0  # unchanged by the rejected call
+
+    def test_advance_to_never_rewinds(self):
+        collector = Collector()
+        collector.advance_to(5.0)
+        collector.advance_to(1.0)
+        assert collector.clock == 5.0
+
+    def test_ring_shedding_surfaces_in_metrics_and_export(self):
+        collector = Collector(event_limit=3)
+        for number in range(5):
+            collector.emit("net", "packet.tx", index=number)
+        assert collector.bus.dropped == 2
+        assert collector.metrics.value("events.dropped") == 2
+        exported = collector.to_dict()
+        assert exported["events_dropped"] == 2
+        assert exported["metrics"]["counters"]["events.dropped"] == 2
+        assert "2 events dropped" in collector.summary()
+
 
 class TestCollectorWiring:
     def test_network_emits_packet_events(self):

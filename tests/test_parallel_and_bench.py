@@ -70,6 +70,22 @@ class TestParallelParity:
         assert parallel.cells == sequential.cells
         assert par_collector.metrics.counters() == seq_collector.metrics.counters()
 
+    def test_chaos_sweep_parallel_merges_worker_spans(self):
+        """Span-tree integrity under workers=2: ids, parent links, and
+        durations all match the sequential sweep (deterministic adopt)."""
+        kwargs = dict(queries_per_rate=6, attack_budget=6)
+        seq_collector, par_collector = Collector(), Collector()
+        run_chaos_sweep((0.0, 0.4), workers=1, observer=seq_collector, **kwargs)
+        run_chaos_sweep((0.0, 0.4), workers=2, observer=par_collector, **kwargs)
+        assert par_collector.tracer.spans  # the sweep actually traced
+        assert par_collector.tracer.signature() == seq_collector.tracer.signature()
+
+        def links(tracer):
+            return [(s.span_id, s.parent_id, s.name, s.duration)
+                    for s in tracer.spans]
+
+        assert links(par_collector.tracer) == links(seq_collector.tracer)
+
     def test_reliability_study_parallel_matches_sequential(self):
         sequential = run_reliability_study(trials=2, workers=1)
         parallel = run_reliability_study(trials=2, workers=2)
