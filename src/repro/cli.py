@@ -15,8 +15,12 @@
     python -m repro offpath --burst 2048
     python -m repro chaos --rates 0,0.2,0.5 --workers 2
     python -m repro bench --emit benchmarks/BENCH.json
+    python -m repro bench --compare benchmarks/BENCH.json   # regression gate
+    python -m repro dash --once --json      # campaign dashboard (series + SLOs)
+    python -m repro dash --scenario crash --once            # forced-crash board
     python -m repro trace-events --json     # observed chaos point: event trace
     python -m repro metrics --json          # same run, metrics registry
+    python -m repro metrics --openmetrics   # OpenMetrics text exposition
     python -m repro pcap                    # faulty LAN capture, reprocap text
     python -m repro spans                   # span tree of one wire-to-verdict attack
     python -m repro trace-export --chrome   # Perfetto-loadable Chrome trace JSON
@@ -269,7 +273,7 @@ def cmd_chaos(args) -> int:
     """Sweep fault rates: client availability vs. attack success."""
     import json
 
-    from .obs import Collector
+    from .obs import Collector, TimeSeriesStore
 
     rates = _parse_rates(args.rates)
     report = run_chaos_sweep(
@@ -277,7 +281,7 @@ def cmd_chaos(args) -> int:
         seed=args.seed,
         queries_per_rate=args.queries,
         attack_budget=args.attack_budget,
-        observer=Collector(),
+        observer=Collector(series=TimeSeriesStore()),
         workers=args.workers,
     )
     if args.json:
@@ -290,9 +294,9 @@ def cmd_chaos(args) -> int:
 def _observed_chaos_run(args):
     """One observed chaos point: the CLI's canonical traced scenario."""
     from .core import run_chaos_point
-    from .obs import Collector
+    from .obs import Collector, TimeSeriesStore
 
-    collector = Collector()
+    collector = Collector(series=TimeSeriesStore())
     cell = run_chaos_point(
         args.level,
         seed=args.seed,
@@ -300,6 +304,7 @@ def _observed_chaos_run(args):
         attack_budget=args.attack_budget,
         observer=collector,
     )
+    collector.sample()  # flush a final sample at the scenario's end clock
     return cell, collector
 
 
@@ -316,6 +321,10 @@ def cmd_trace_events(args) -> int:
     """Run an observed chaos point and print its structured event trace."""
     import json
 
+    if args.limit is not None and args.limit < 0:
+        print(f"repro trace-events: --limit must be >= 0, got {args.limit}",
+              file=sys.stderr)
+        return 2
     _cell, collector = _observed_chaos_run(args)
     if args.json:
         print(json.dumps(collector.to_dict(last_events=args.limit), indent=2))
@@ -330,7 +339,11 @@ def cmd_metrics(args) -> int:
     import json
 
     _cell, collector = _observed_chaos_run(args)
-    if args.json:
+    if args.openmetrics:
+        from .obs import export_openmetrics
+
+        print(export_openmetrics(collector), end="")
+    elif args.json:
         print(json.dumps(collector.metrics.to_dict(), indent=2))
     else:
         print(collector.summary())
@@ -421,12 +434,25 @@ def cmd_pcap(args) -> int:
 
 
 def cmd_bench(args) -> int:
-    """Emulator microbenchmark: decode-cache on/off, committed baseline."""
+    """Emulator microbenchmark: decode-cache on/off, committed baseline.
+
+    ``--compare PATH`` turns the run into the regression gate: the fresh
+    payload is measured against the committed baseline and a perf-history
+    line is appended to the trajectory file.  Any validation failure or
+    gate regression exits non-zero with a message on stderr.
+    """
     import json
 
-    from .core import collect_baseline, validate_baseline
+    from .core import (append_trajectory, collect_baseline, compare_baseline,
+                       describe_comparison, trajectory_entry,
+                       validate_baseline)
 
-    payload = validate_baseline(collect_baseline(steps=args.steps))
+    try:
+        payload = validate_baseline(collect_baseline(steps=args.steps))
+    except ValueError as error:
+        print(f"repro bench: fresh payload failed validation: {error}",
+              file=sys.stderr)
+        return 1
     text = json.dumps(payload, indent=2, sort_keys=True)
     if args.emit:
         with open(args.emit, "w", encoding="utf-8") as handle:
@@ -436,9 +462,89 @@ def cmd_bench(args) -> int:
         print(f"BENCH {entry['name']}: {entry['decode_call_ratio']:.1f}x fewer "
               f"decode() calls, {entry['wall_speedup']:.2f}x wall speedup "
               f"({entry['cached']['steps_per_s']:,.0f} steps/s cached)")
+    if args.compare:
+        try:
+            with open(args.compare, "r", encoding="utf-8") as handle:
+                committed = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"repro bench: cannot read baseline {args.compare}: {error}",
+                  file=sys.stderr)
+            return 1
+        try:
+            result = compare_baseline(committed, payload)
+        except ValueError as error:
+            print(f"repro bench: baseline {args.compare} failed validation: "
+                  f"{error}", file=sys.stderr)
+            return 1
+        print(describe_comparison(result))
+        trajectory = args.trajectory or "benchmarks/trajectory.jsonl"
+        append_trajectory(trajectory, trajectory_entry(payload, result["ok"]))
+        print(f"trajectory: appended to {trajectory}")
+        if not result["ok"]:
+            print("repro bench: performance regression against "
+                  f"{args.compare}", file=sys.stderr)
+            return 1
+        return 0
     if not args.emit:
         print(text)
     return 0
+
+
+def _dash_collector(args):
+    """Run the selected scenario under a series-attached collector."""
+    from .obs import Collector, TimeSeriesStore
+
+    collector = Collector(series=TimeSeriesStore(interval=args.interval))
+    if args.scenario == "chaos":
+        from .core import run_chaos_point
+
+        run_chaos_point(args.level, seed=args.seed, queries=args.queries,
+                        attack_budget=args.attack_budget, observer=collector)
+    elif args.scenario == "crash":
+        from .core import run_forced_crash
+
+        run_forced_crash(seed=args.seed, observer=collector)
+    else:  # attack
+        from .core import run_observed_attack
+
+        run_observed_attack(seed=args.seed, observer=collector)
+    collector.sample()  # flush a final sample at the scenario's end clock
+    return collector
+
+
+def cmd_dash(args) -> int:
+    """Campaign dashboard: series sparklines, SLO verdicts, top spans."""
+    import time
+
+    from .obs import (DEFAULT_SLOS, SloRuleError, dashboard_json,
+                      evaluate_slos, parse_rule, render_dashboard)
+    from .obs.dashboard import CLEAR, frame_times
+
+    try:
+        rules = ([parse_rule(text) for text in args.slo]
+                 if args.slo else list(DEFAULT_SLOS))
+    except SloRuleError as error:
+        print(f"repro dash: {error}", file=sys.stderr)
+        return 2
+    collector = _dash_collector(args)
+    color = not args.no_color
+    if not args.once:
+        # Replay the recorded campaign as live frames: each frame truncates
+        # the series at a later simulated moment and re-evaluates the SLOs
+        # read-only at that moment (no breach events, no counter changes).
+        for moment in frame_times(collector, args.frames):
+            report = evaluate_slos(rules, collector, at=moment, emit=False)
+            frame = render_dashboard(collector, report, until=moment,
+                                     color=color)
+            print((CLEAR if color else "") + frame)
+            if args.fps > 0:
+                time.sleep(1.0 / args.fps)
+    report = evaluate_slos(rules, collector)
+    if args.json:
+        print(dashboard_json(collector, report, scenario=args.scenario))
+    else:
+        print(render_dashboard(collector, report, color=color))
+    return 0 if report.ok else 1
 
 
 def cmd_offpath(args) -> int:
@@ -531,7 +637,40 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emulated instructions per measurement")
     bench.add_argument("--emit", metavar="PATH",
                        help="write the repro-bench/v1 JSON baseline to PATH")
+    bench.add_argument("--compare", metavar="PATH",
+                       help="regression gate: compare the fresh run against "
+                            "the committed baseline at PATH")
+    bench.add_argument("--trajectory", metavar="PATH", default=None,
+                       help="perf-history JSONL appended in --compare mode "
+                            "(default benchmarks/trajectory.jsonl)")
     bench.set_defaults(run=cmd_bench)
+
+    dash = subparsers.add_parser(
+        "dash", help="campaign dashboard: series, SLO verdicts, top spans")
+    dash.add_argument("--scenario", choices=("chaos", "crash", "attack"),
+                      default="chaos",
+                      help="which observed scenario feeds the board")
+    dash.add_argument("--level", type=float, default=0.3,
+                      help="fault level for the chaos scenario")
+    dash.add_argument("--seed", type=int, default=0xB5EC)
+    dash.add_argument("--queries", type=int, default=16)
+    dash.add_argument("--attack-budget", type=int, default=12)
+    dash.add_argument("--interval", type=float, default=1.0,
+                      help="series sampling interval (simulated seconds)")
+    dash.add_argument("--slo", action="append", metavar="RULE",
+                      help="SLO rule, e.g. 'daemon.crashes count == 0' "
+                           "(repeatable; default: the built-in set)")
+    dash.add_argument("--once", action="store_true",
+                      help="render one final frame instead of the replay")
+    dash.add_argument("--json", action="store_true",
+                      help="machine-readable output (implies --once frame)")
+    dash.add_argument("--no-color", action="store_true",
+                      help="plain text, no ANSI escapes")
+    dash.add_argument("--frames", type=int, default=12,
+                      help="replay frames in live mode")
+    dash.add_argument("--fps", type=float, default=8.0,
+                      help="replay speed (frames/second; 0 = no delay)")
+    dash.set_defaults(run=cmd_dash)
 
     trace_events = subparsers.add_parser(
         "trace-events", help="structured event trace of an observed chaos point")
@@ -543,6 +682,8 @@ def build_parser() -> argparse.ArgumentParser:
     metrics = subparsers.add_parser(
         "metrics", help="counters/histograms from an observed chaos point")
     _add_observed_args(metrics)
+    metrics.add_argument("--openmetrics", action="store_true",
+                         help="OpenMetrics text exposition instead of JSON")
     metrics.set_defaults(run=cmd_metrics)
 
     def _add_attack_args(sub: argparse.ArgumentParser) -> None:

@@ -9,13 +9,22 @@ is deterministic; wall-clock numbers are environment-dependent and recorded
 alongside for trend tracking, not asserted in CI.
 
 ``collect_baseline`` emits the ``repro-bench/v1`` JSON payload committed
-under ``benchmarks/``; ``validate_baseline`` is the CI smoke check.
+under ``benchmarks/``; ``validate_baseline`` is the CI smoke check, and
+``compare_baseline`` is the regression gate: a fresh payload is compared
+against the committed one with noise-tolerant thresholds (deterministic
+decode-call quantities are asserted hard; throughput is compared via the
+machine-normalized cached/uncached ratio so a slower CI runner cannot
+fake a regression).  Every gated run appends one line to the
+``benchmarks/trajectory.jsonl`` perf history.
 """
 
 from __future__ import annotations
 
+import json
+import os
+from datetime import datetime, timezone
 from time import perf_counter
-from typing import Dict, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..cpu import Process, make_emulator
 from ..cpu.arm.asm import add_imm, b as arm_b
@@ -152,3 +161,123 @@ def validate_baseline(payload: Dict[str, object]) -> Dict[str, object]:
                 f"below the {MIN_DECODE_CALL_RATIO}x acceptance floor"
             )
     return payload
+
+
+# -- regression gate -------------------------------------------------------------
+
+COMPARE_SCHEMA = "repro-bench-compare/v1"
+TRAJECTORY_SCHEMA = "repro-bench-trajectory/v1"
+
+#: Cached throughput may lose at most this fraction (machine-normalized)
+#: before the gate trips — wall-clock noise tolerance, not a free pass.
+MAX_CACHED_DROP = 0.25
+
+
+def _speedup(entry: Dict[str, object]) -> float:
+    """Cached-vs-uncached throughput ratio within one payload.
+
+    Both runs execute on the same machine in the same process, so their
+    ratio cancels machine speed out — it is the noise-tolerant form of
+    "cached ``steps_per_s``" that survives a loaded CI runner.
+    """
+    return (entry["cached"]["steps_per_s"] /
+            entry["baseline"]["steps_per_s"])
+
+
+def compare_baseline(old: Dict[str, object], new: Dict[str, object], *,
+                     max_drop: float = MAX_CACHED_DROP) -> Dict[str, object]:
+    """Regression verdict for ``new`` measured against baseline ``old``.
+
+    Three checks per benchmark, deterministic ones asserted exactly:
+
+    - the benchmark must still exist (a silently dropped benchmark is a
+      regression, not a cleanup);
+    - the decode-call floor must not regress: steady-state ``decode_calls``
+      with the cache enabled may not exceed the baseline's;
+    - normalized cached throughput (cached/uncached ``steps_per_s`` ratio)
+      may not drop more than ``max_drop`` below the baseline's ratio.
+
+    Returns a report dict (never raises on a regression — the caller
+    decides the exit code); raises ``ValueError`` only when either
+    payload fails :func:`validate_baseline`.
+    """
+    validate_baseline(old)
+    validate_baseline(new)
+    new_by_name = {entry["name"]: entry for entry in new["benchmarks"]}
+    checks: List[Dict[str, object]] = []
+    for entry in old["benchmarks"]:
+        name = entry["name"]
+        fresh = new_by_name.get(name)
+        if fresh is None:
+            checks.append({
+                "name": name, "check": "present", "old": True, "new": False,
+                "ok": False, "detail": "benchmark missing from fresh payload",
+            })
+            continue
+        old_calls = entry["cached"]["decode_calls"]
+        new_calls = fresh["cached"]["decode_calls"]
+        checks.append({
+            "name": name, "check": "decode_call_floor",
+            "old": old_calls, "new": new_calls, "ok": new_calls <= old_calls,
+            "detail": f"cached decode() calls {old_calls} -> {new_calls}",
+        })
+        old_speedup = _speedup(entry)
+        new_speedup = _speedup(fresh)
+        floor = (1.0 - max_drop) * old_speedup
+        checks.append({
+            "name": name, "check": "cached_throughput",
+            "old": round(old_speedup, 4), "new": round(new_speedup, 4),
+            "ok": new_speedup >= floor,
+            "detail": (f"normalized cached throughput "
+                       f"{old_speedup:.2f}x -> {new_speedup:.2f}x "
+                       f"(floor {floor:.2f}x)"),
+        })
+    return {
+        "schema": COMPARE_SCHEMA,
+        "ok": all(check["ok"] for check in checks),
+        "max_drop": max_drop,
+        "checks": checks,
+    }
+
+
+def describe_comparison(result: Dict[str, object]) -> str:
+    lines = []
+    for check in result["checks"]:
+        status = "ok  " if check["ok"] else "FAIL"
+        lines.append(f"GATE {status} {check['name']}.{check['check']}: "
+                     f"{check['detail']}")
+    verdict = "pass" if result["ok"] else "REGRESSION"
+    lines.append(f"GATE verdict: {verdict} "
+                 f"(throughput tolerance {result['max_drop']:.0%})")
+    return "\n".join(lines)
+
+
+def trajectory_entry(payload: Dict[str, object],
+                     compare_ok: Optional[bool] = None,
+                     when: Optional[str] = None) -> Dict[str, object]:
+    """One compact perf-history line for ``benchmarks/trajectory.jsonl``."""
+    return {
+        "schema": TRAJECTORY_SCHEMA,
+        "when": when or datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "steps": payload["steps"],
+        "compare_ok": compare_ok,
+        "benchmarks": [
+            {
+                "name": entry["name"],
+                "cached_steps_per_s": round(entry["cached"]["steps_per_s"], 1),
+                "baseline_steps_per_s": round(entry["baseline"]["steps_per_s"], 1),
+                "decode_call_ratio": round(entry["decode_call_ratio"], 2),
+                "wall_speedup": round(entry["wall_speedup"], 3),
+            }
+            for entry in payload["benchmarks"]
+        ],
+    }
+
+
+def append_trajectory(path: str, entry: Dict[str, object]) -> None:
+    """Append one JSON line; creates the history file on first use."""
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")

@@ -26,7 +26,7 @@ from ..defenses import WX_ASLR
 from ..dns import ResilientResolver, SimpleDnsServer, make_query
 from ..exploit import AslrBruteForcer
 from ..net import FaultPolicy, faulty_transport
-from ..obs import Collector
+from ..obs import Collector, TimeSeriesStore
 from .parallel import resolve_workers, run_tasks
 from .report import render_table
 
@@ -219,16 +219,21 @@ def run_chaos_point(
     )
 
 
-def _chaos_point_task(task: Tuple) -> Tuple[ChaosCell, Optional["MetricsRegistry"], Optional[list]]:
+def _chaos_point_task(task: Tuple) -> Tuple:
     """Worker for the parallel sweep: one fully seeded chaos point.
 
     Module-level (pool-picklable).  When the sweep is observed, the worker
-    runs with its own collector and ships its metrics registry and span
-    list back for the parent to merge — counter totals and the span forest
-    match the sequential run exactly.
+    runs with its own collector and ships its metrics registry, span list,
+    time-series store (when the parent samples), and final clock back for
+    the parent to merge — counter totals, the span forest, and the sampled
+    series match the sequential run exactly.
     """
-    level, point_seed, queries, attack_budget, entropy_pages, start_limit_burst, observed = task
+    (level, point_seed, queries, attack_budget, entropy_pages,
+     start_limit_burst, observed, sample_interval, sample_limit) = task
     collector = Collector() if observed else None
+    if collector is not None and sample_interval is not None:
+        collector.attach_series(
+            TimeSeriesStore(interval=sample_interval, limit=sample_limit))
     cell = run_chaos_point(
         level,
         seed=point_seed,
@@ -239,8 +244,9 @@ def _chaos_point_task(task: Tuple) -> Tuple[ChaosCell, Optional["MetricsRegistry
         observer=collector,
     )
     if collector is None:
-        return cell, None, None
-    return cell, collector.metrics, collector.tracer.spans
+        return cell, None, None, None, 0.0
+    return (cell, collector.metrics, collector.tracer.spans,
+            collector.series, collector.clock)
 
 
 def run_chaos_sweep(
@@ -270,19 +276,34 @@ def run_chaos_sweep(
     """
     report = ReliabilityReport(seed=seed)
     if resolve_workers(workers) > 1 and len(rates) > 1:
+        store = observer.series if observer is not None else None
         tasks = [
             (level, seed + 7919 * index, queries_per_rate, attack_budget,
-             entropy_pages, start_limit_burst, observer is not None)
+             entropy_pages, start_limit_burst, observer is not None,
+             store.interval if store is not None else None,
+             store.limit if store is not None else 0)
             for index, level in enumerate(rates)
         ]
-        for cell, metrics, spans in run_tasks(_chaos_point_task, tasks, workers=workers):
+        for cell, metrics, spans, series, clock in run_tasks(
+                _chaos_point_task, tasks, workers=workers):
             report.cells.append(cell)
-            if observer is not None and metrics is not None:
-                observer.metrics.merge(metrics)
-            if observer is not None and spans:
-                # Deterministic merge: task order + id rebasing reproduce
-                # the sequential sweep's span forest exactly.
-                observer.tracer.adopt(spans)
+            if observer is not None:
+                if store is not None and series is not None:
+                    # Adopt the worker's series *before* merging its
+                    # registry: the adopt offsets are the cumulative
+                    # counts of every prior point, exactly what the
+                    # shared sequential registry held during this one.
+                    store.adopt(series, observer.metrics)
+                if metrics is not None:
+                    observer.metrics.merge(metrics)
+                if spans:
+                    # Deterministic merge: task order + id rebasing
+                    # reproduce the sequential sweep's span forest exactly.
+                    observer.tracer.adopt(spans)
+                # The shared sequential clock is a running max over the
+                # points (advance_to); reproduce it after the adopts so
+                # no already-covered grid boundary is re-sampled.
+                observer.advance_to(clock)
     else:
         for index, level in enumerate(rates):
             report.cells.append(

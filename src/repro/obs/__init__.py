@@ -8,12 +8,40 @@ events, counters/histograms, *causal spans* (one exploit attempt = one
 span tree from wire to verdict), structured :class:`CrashReport`
 postmortems, a Chrome trace-event exporter for Perfetto, and a text
 pcap format for the traffic log that round-trips through the sniffer.
+On top of the flat registry sits the campaign layer: ring-buffered
+:class:`TimeSeriesStore` sampling on the simulated clock, declarative
+:class:`SloRule` objectives with ``slo.breach`` alerts, OpenMetrics
+text exposition that round-trips through its strict parser, and the
+``repro dash`` terminal dashboard.
 """
 
 from .chrome import chrome_trace_events, export_chrome_trace, validate_chrome_trace
 from .collector import Collector
+from .dashboard import (
+    build_dashboard_json,
+    dashboard_json,
+    render_dashboard,
+    sparkline,
+    top_spans,
+)
 from .events import EventBus, TraceEvent
-from .metrics import Counter, Histogram, MetricsRegistry
+from .metrics import Counter, Histogram, MetricsRegistry, estimate_percentile
+from .openmetrics import (
+    OpenMetricsError,
+    export_openmetrics,
+    parse_openmetrics,
+    render_openmetrics,
+)
+from .slo import (
+    DEFAULT_SLOS,
+    SloReport,
+    SloRule,
+    SloRuleError,
+    SloVerdict,
+    evaluate_slos,
+    parse_rule,
+)
+from .timeseries import TimeSeries, TimeSeriesStore
 from .pcap import (
     PcapFormatError,
     export_datagrams,
@@ -26,23 +54,42 @@ from .postmortem import CrashReport, capture_crash_report
 from .spans import Span, Tracer, snapshot_payload
 
 __all__ = [
+    "build_dashboard_json",
     "capture_crash_report",
     "chrome_trace_events",
     "Collector",
     "Counter",
     "CrashReport",
+    "dashboard_json",
+    "DEFAULT_SLOS",
+    "estimate_percentile",
+    "evaluate_slos",
     "EventBus",
     "export_chrome_trace",
     "export_datagrams",
+    "export_openmetrics",
     "export_pcap_text",
     "Histogram",
     "MetricsRegistry",
+    "OpenMetricsError",
+    "parse_openmetrics",
     "parse_pcap_text",
+    "parse_rule",
     "PcapFormatError",
+    "render_dashboard",
+    "render_openmetrics",
     "replay_network",
+    "SloReport",
+    "SloRule",
+    "SloRuleError",
+    "SloVerdict",
     "sniff_capture",
     "snapshot_payload",
     "Span",
+    "sparkline",
+    "TimeSeries",
+    "TimeSeriesStore",
+    "top_spans",
     "TraceEvent",
     "Tracer",
     "validate_chrome_trace",

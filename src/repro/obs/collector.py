@@ -21,17 +21,21 @@ from .spans import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .postmortem import CrashReport
+    from .timeseries import TimeSeriesStore
 
 
 class Collector:
     """Bundle of clock + :class:`EventBus` + :class:`MetricsRegistry` +
-    :class:`~repro.obs.spans.Tracer`."""
+    :class:`~repro.obs.spans.Tracer` (+ an optional time-series store)."""
 
-    def __init__(self, *, event_limit: int = 100_000):
+    def __init__(self, *, event_limit: int = 100_000,
+                 series: Optional["TimeSeriesStore"] = None):
         self.clock = 0.0
         self.bus = EventBus(limit=event_limit)
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(self)
+        #: Attached :class:`~repro.obs.timeseries.TimeSeriesStore`, if any.
+        self.series = series
         #: Crash forensics captured during the run, oldest first.
         self.postmortems: List["CrashReport"] = []
 
@@ -49,12 +53,32 @@ class Collector:
                 f"collector clock cannot move backwards: advance({seconds!r})"
             )
         self.clock += seconds
+        self._sample_grid()
         return self.clock
 
     def advance_to(self, when: float) -> float:
         """Move the clock forward to ``when`` (never backwards)."""
         self.clock = max(self.clock, when)
+        self._sample_grid()
         return self.clock
+
+    # -- time series ----------------------------------------------------------
+
+    def attach_series(self, store: "TimeSeriesStore") -> "TimeSeriesStore":
+        """Attach a time-series store; clock movement now takes samples."""
+        self.series = store
+        return store
+
+    def _sample_grid(self) -> None:
+        if self.series is not None:
+            self.series.observe_clock(self.clock, self.metrics)
+
+    def sample(self) -> float:
+        """Force one off-grid sample at the current clock (end-of-run flush)."""
+        if self.series is None:
+            raise ValueError(
+                "no TimeSeriesStore attached (use Collector.attach_series)")
+        return self.series.force_sample(self.clock, self.metrics)
 
     # -- emission -------------------------------------------------------------
 
@@ -97,7 +121,12 @@ class Collector:
     # -- export ---------------------------------------------------------------
 
     def to_dict(self, *, last_events: Optional[int] = None) -> dict:
-        return {
+        """Full export; ``last_events=0`` means *no* events, not all of them,
+        and a negative count is rejected (same guard as :meth:`advance`)."""
+        if last_events is not None and last_events < 0:
+            raise ValueError(
+                f"last_events cannot be negative: {last_events!r}")
+        exported = {
             "clock": round(self.clock, 6),
             "events": self.bus.to_dicts(last_events),
             "events_dropped": self.bus.dropped,
@@ -105,6 +134,9 @@ class Collector:
             "spans": self.tracer.to_dicts(),
             "postmortems": [report.to_dict() for report in self.postmortems],
         }
+        if self.series is not None:
+            exported["series"] = self.series.to_dict()
+        return exported
 
     def to_json(self, *, last_events: Optional[int] = None, indent: int = 2) -> str:
         return json.dumps(self.to_dict(last_events=last_events), indent=indent)

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 
 @dataclass(frozen=True)
@@ -123,15 +123,24 @@ class EventBus:
 
     # -- export -----------------------------------------------------------------
 
+    def _tail(self, last: Optional[int]) -> List[TraceEvent]:
+        """The last ``last`` events; ``None`` means all, 0 means none.
+
+        A negative count is rejected loudly (mirroring the collector's
+        ``advance`` guard) rather than silently aliasing into Python's
+        negative-index slicing.
+        """
+        if last is None:
+            return self.events
+        if last < 0:
+            raise ValueError(f"event tail length cannot be negative: {last!r}")
+        return self.events[-last:] if last else []
+
     def to_dicts(self, last: Optional[int] = None) -> List[dict]:
-        events: Iterable[TraceEvent] = (
-            self.events if last is None else self.events[-last:]
-        )
-        return [event.to_dict() for event in events]
+        return [event.to_dict() for event in self._tail(last)]
 
     def to_json(self, last: Optional[int] = None, indent: int = 2) -> str:
         return json.dumps(self.to_dicts(last), indent=indent)
 
     def describe(self, last: Optional[int] = None) -> str:
-        events = self.events if last is None else self.events[-last:]
-        return "\n".join(event.describe() for event in events)
+        return "\n".join(event.describe() for event in self._tail(last))

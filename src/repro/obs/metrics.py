@@ -17,6 +17,50 @@ from typing import Dict, List, Optional, Sequence
 DEFAULT_BUCKETS = (1.0, 5.0, 10.0, 50.0, 100.0, 250.0, 500.0, 1000.0)
 
 
+def estimate_percentile(bounds: Sequence[float], bucket_counts: Sequence[float],
+                        q: float, *, lo: Optional[float] = None,
+                        hi: Optional[float] = None) -> Optional[float]:
+    """Estimate the q-quantile from per-bucket counts (Prometheus-style).
+
+    ``bucket_counts`` are *non-cumulative* per-bucket counts, one per bound
+    plus the trailing +Inf bucket.  Interpolates linearly inside the bucket
+    the target rank lands in; a rank landing in the +Inf bucket returns the
+    observed ``hi`` when known, else the highest finite bound.  Returns
+    ``None`` (never raises) when there are no observations, so windowed
+    queries over quiet periods stay total.  ``lo``/``hi`` clamp the
+    estimate to the observed range when the caller tracks it.
+    """
+    total = sum(bucket_counts)
+    if total <= 0:
+        return None
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"percentile q must be in [0, 1], got {q!r}")
+    target = q * total
+    estimate: Optional[float] = None
+    running = 0.0
+    for index, bound in enumerate(bounds):
+        count = bucket_counts[index]
+        running += count
+        if count > 0 and running >= target:
+            lower = bounds[index - 1] if index > 0 else min(0.0, bound)
+            fraction = (target - (running - count)) / count
+            estimate = lower + (bound - lower) * fraction
+            break
+    if estimate is None:  # rank lands in the +Inf bucket
+        estimate = hi if hi is not None else (bounds[-1] if bounds else lo)
+    if estimate is None:
+        return None
+    if lo is not None:
+        estimate = max(estimate, lo)
+    if hi is not None:
+        estimate = min(estimate, hi)
+    return estimate
+
+
+def _round6(value: Optional[float]) -> Optional[float]:
+    return None if value is None else round(value, 6)
+
+
 class Counter:
     """A monotonically increasing named count."""
 
@@ -61,6 +105,18 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> Optional[float]:
+        """Estimated q-quantile (q in [0, 1]) from the cumulative buckets.
+
+        Contract: an empty histogram returns ``None`` and never raises —
+        the SLO engine treats "no data" as its own verdict, distinct from
+        any numeric comparison.
+        """
+        if self.count == 0:
+            return None
+        return estimate_percentile(self.bounds, self.bucket_counts, q,
+                                   lo=self.min, hi=self.max)
+
     def merge(self, other: "Histogram") -> None:
         """Fold another histogram's observations into this one.
 
@@ -91,6 +147,9 @@ class Histogram:
             "mean": round(self.mean, 6),
             "min": self.min,
             "max": self.max,
+            "p50": _round6(self.percentile(0.50)),
+            "p95": _round6(self.percentile(0.95)),
+            "p99": _round6(self.percentile(0.99)),
             "buckets": {
                 **{f"le_{bound:g}": count
                    for bound, count in zip(self.bounds, self.bucket_counts)},

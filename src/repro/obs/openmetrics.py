@@ -1,0 +1,321 @@
+"""OpenMetrics / Prometheus text exposition of the telemetry layer.
+
+:func:`export_openmetrics` renders a collector's counters, histograms
+(with cumulative ``le`` buckets), and attached time-series snapshots in
+the OpenMetrics text format, so any standard scraper, ``promtool``, or a
+human with ``grep`` can consume a campaign's metrics without bespoke
+tooling.  :func:`parse_openmetrics` is the *strict* inverse — it rejects
+malformed documents loudly (missing ``# EOF``, samples before their
+``# TYPE``, non-cumulative buckets, bad floats) and returns the family
+structure :func:`render_openmetrics` serializes back canonically, so
+
+    ``render(parse(text)) == text``
+
+round-trips bit-for-bit; the tests pin it.
+
+Mapping from registry names: dotted metric names are sanitized to the
+``[a-zA-Z0-9_:]`` charset (``cache.stale`` -> ``cache_stale``), with the
+original name preserved in the ``# HELP`` line.  Counters expose a
+``_total`` sample; time series become a companion ``<name>_series``
+gauge family carrying one timestamped sample per recorded point — the
+OpenMetrics "multiple MetricPoints per family" form.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .collector import Collector
+
+VALID_TYPES = ("counter", "gauge", "histogram")
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^{}]*)\})?"
+    r" (?P<value>\S+)"
+    r"(?: (?P<timestamp>\S+))?$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+class OpenMetricsError(ValueError):
+    """A document that violates the exposition format."""
+
+
+def metric_name(name: str) -> str:
+    """Sanitize a dotted registry name into the OpenMetrics charset."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not cleaned or not re.match(r"[a-zA-Z_:]", cleaned[0]):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def format_value(value: float) -> str:
+    """Canonical float rendering (shortest round-trip repr)."""
+    return repr(float(value))
+
+
+@dataclass(frozen=True)
+class MetricSample:
+    """One exposition line: name, ordered labels, value, optional timestamp."""
+
+    name: str
+    labels: Tuple[Tuple[str, str], ...]
+    value: float
+    timestamp: Optional[float] = None
+
+    def render(self) -> str:
+        label_text = ""
+        if self.labels:
+            inner = ",".join(f'{key}="{_escape(value)}"'
+                             for key, value in self.labels)
+            label_text = "{" + inner + "}"
+        line = f"{self.name}{label_text} {format_value(self.value)}"
+        if self.timestamp is not None:
+            line += f" {format_value(self.timestamp)}"
+        return line
+
+
+@dataclass
+class MetricFamily:
+    """One ``# TYPE`` block: metadata plus its samples in order."""
+
+    name: str
+    type: str
+    help: str = ""
+    samples: List[MetricSample] = field(default_factory=list)
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _unescape(text: str) -> str:
+    return (text.replace("\\n", "\n").replace('\\"', '"')
+            .replace("\\\\", "\\"))
+
+
+# -- building families from the telemetry layer --------------------------------
+
+
+def build_families(collector: "Collector") -> List[MetricFamily]:
+    """Families for every counter, histogram, and attached series."""
+    registry = collector.metrics
+    families: List[MetricFamily] = []
+    for name, value in registry.counters().items():
+        family = MetricFamily(metric_name(name), "counter",
+                              help=f"source metric {name}")
+        family.samples.append(
+            MetricSample(family.name + "_total", (), float(value)))
+        families.append(family)
+    for name in sorted(registry._histograms):
+        histogram = registry._histograms[name]
+        family = MetricFamily(metric_name(name), "histogram",
+                              help=f"source metric {name}")
+        cumulative = 0
+        for bound, count in zip(histogram.bounds, histogram.bucket_counts):
+            cumulative += count
+            family.samples.append(MetricSample(
+                family.name + "_bucket", (("le", format_value(bound)),),
+                float(cumulative)))
+        family.samples.append(MetricSample(
+            family.name + "_bucket", (("le", "+Inf"),), float(histogram.count)))
+        family.samples.append(
+            MetricSample(family.name + "_sum", (), histogram.total))
+        family.samples.append(
+            MetricSample(family.name + "_count", (), float(histogram.count)))
+        families.append(family)
+    store = collector.series
+    if store is not None:
+        for name in store.names():
+            series = store.series[name]
+            if not series.times:
+                continue
+            family = MetricFamily(metric_name(name) + "_series", "gauge",
+                                  help=f"sampled series for {name} "
+                                       f"(interval {store.interval:g}s)")
+            for time, value in zip(series.times, series.values):
+                point = (float(value) if series.kind == "counter"
+                         else float(value["count"]))
+                family.samples.append(
+                    MetricSample(family.name, (), point, timestamp=time))
+            families.append(family)
+    return families
+
+
+# -- rendering ------------------------------------------------------------------
+
+
+def render_openmetrics(families: List[MetricFamily]) -> str:
+    """Canonical text document (ends with ``# EOF`` and a newline)."""
+    lines: List[str] = []
+    for family in families:
+        if family.help:
+            lines.append(f"# HELP {family.name} {_escape(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.type}")
+        for sample in family.samples:
+            lines.append(sample.render())
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def export_openmetrics(collector: "Collector") -> str:
+    """One-call exposition of a collector's whole telemetry state."""
+    return render_openmetrics(build_families(collector))
+
+
+# -- strict parsing --------------------------------------------------------------
+
+
+def _family_for(name: str, families: Dict[str, MetricFamily]) -> MetricFamily:
+    """Resolve a sample name to its declared family (suffix-aware)."""
+    if name in families:
+        return families[name]
+    for suffix in ("_total", "_bucket", "_sum", "_count"):
+        if name.endswith(suffix) and name[: -len(suffix)] in families:
+            return families[name[: -len(suffix)]]
+    raise OpenMetricsError(f"sample {name!r} has no preceding # TYPE")
+
+
+def _check_suffix(family: MetricFamily, sample_name: str) -> None:
+    base = family.name
+    if family.type == "counter":
+        allowed = (base + "_total",)
+    elif family.type == "gauge":
+        allowed = (base,)
+    else:
+        allowed = (base + "_bucket", base + "_sum", base + "_count")
+    if sample_name not in allowed:
+        raise OpenMetricsError(
+            f"sample {sample_name!r} is not legal for {family.type} "
+            f"family {base!r} (allowed: {', '.join(allowed)})")
+
+
+def _check_histogram(family: MetricFamily) -> None:
+    buckets = [s for s in family.samples if s.name == family.name + "_bucket"]
+    counts = [s for s in family.samples if s.name == family.name + "_count"]
+    if not buckets:
+        raise OpenMetricsError(f"histogram {family.name!r} has no buckets")
+    previous = None
+    for sample in buckets:
+        labels = dict(sample.labels)
+        if "le" not in labels:
+            raise OpenMetricsError(
+                f"histogram {family.name!r} bucket missing 'le' label")
+        if previous is not None and sample.value < previous:
+            raise OpenMetricsError(
+                f"histogram {family.name!r} buckets are not cumulative")
+        previous = sample.value
+    if dict(buckets[-1].labels).get("le") != "+Inf":
+        raise OpenMetricsError(
+            f"histogram {family.name!r} must end with the +Inf bucket")
+    if counts and counts[0].value != buckets[-1].value:
+        raise OpenMetricsError(
+            f"histogram {family.name!r}: _count {counts[0].value} != "
+            f"+Inf bucket {buckets[-1].value}")
+
+
+def parse_openmetrics(text: str) -> List[MetricFamily]:
+    """Strict parse; raises :class:`OpenMetricsError` with line numbers."""
+    lines = text.split("\n")
+    if not lines or lines[-1] != "":
+        raise OpenMetricsError("document must end with a newline")
+    lines = lines[:-1]
+    if not lines or lines[-1] != "# EOF":
+        raise OpenMetricsError("document must terminate with '# EOF'")
+    families: Dict[str, MetricFamily] = {}
+    ordered: List[MetricFamily] = []
+    current: Optional[MetricFamily] = None
+    for number, line in enumerate(lines[:-1], start=1):
+        if not line:
+            raise OpenMetricsError(f"line {number}: blank lines are not allowed")
+        if line.startswith("# TYPE ") or line.startswith("# HELP "):
+            keyword = line[2:6]
+            parts = line[7:].split(" ", 1)
+            name = parts[0]
+            rest = parts[1] if len(parts) > 1 else ""
+            if not _NAME_RE.match(name):
+                raise OpenMetricsError(
+                    f"line {number}: invalid metric name {name!r}")
+            if keyword == "TYPE":
+                if rest not in VALID_TYPES:
+                    raise OpenMetricsError(
+                        f"line {number}: unknown metric type {rest!r}")
+                if name in families and families[name].type:
+                    raise OpenMetricsError(
+                        f"line {number}: duplicate # TYPE for {name!r}")
+                family = families.get(name)
+                if family is None:
+                    family = MetricFamily(name, rest)
+                    families[name] = family
+                    ordered.append(family)
+                else:
+                    family.type = rest
+                current = family
+            else:
+                family = families.get(name)
+                if family is not None and family.help:
+                    raise OpenMetricsError(
+                        f"line {number}: duplicate # HELP for {name!r}")
+                if family is None:
+                    family = MetricFamily(name, "", help=_unescape(rest))
+                    families[name] = family
+                    ordered.append(family)
+                else:
+                    family.help = _unescape(rest)
+                current = family
+            continue
+        if line.startswith("#"):
+            raise OpenMetricsError(
+                f"line {number}: unknown comment directive {line!r}")
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise OpenMetricsError(f"line {number}: malformed sample {line!r}")
+        name = match.group("name")
+        try:
+            family = _family_for(name, families)
+        except OpenMetricsError as why:
+            raise OpenMetricsError(f"line {number}: {why}") from None
+        if not family.type:
+            raise OpenMetricsError(
+                f"line {number}: sample {name!r} precedes its # TYPE")
+        if current is not None and family is not current and family.samples:
+            raise OpenMetricsError(
+                f"line {number}: family {family.name!r} is interleaved")
+        _check_suffix(family, name)
+        labels: Tuple[Tuple[str, str], ...] = ()
+        label_text = match.group("labels")
+        if label_text:
+            pairs = _LABEL_RE.findall(label_text)
+            rebuilt = ",".join(f'{key}="{value}"' for key, value in pairs)
+            if rebuilt != label_text:
+                raise OpenMetricsError(
+                    f"line {number}: malformed labels {label_text!r}")
+            labels = tuple((key, _unescape(value)) for key, value in pairs)
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            raise OpenMetricsError(
+                f"line {number}: bad sample value "
+                f"{match.group('value')!r}") from None
+        timestamp_text = match.group("timestamp")
+        timestamp = None
+        if timestamp_text is not None:
+            try:
+                timestamp = float(timestamp_text)
+            except ValueError:
+                raise OpenMetricsError(
+                    f"line {number}: bad timestamp {timestamp_text!r}") from None
+        family.samples.append(MetricSample(name, labels, value, timestamp))
+        current = family
+    for family in ordered:
+        if not family.type:
+            raise OpenMetricsError(
+                f"family {family.name!r} has # HELP but no # TYPE")
+        if family.type == "histogram" and family.samples:
+            _check_histogram(family)
+    return ordered

@@ -1,0 +1,257 @@
+"""Declarative SLO rules evaluated against the telemetry layer.
+
+A campaign (chaos sweep, §VI brute force, forced-crash forensics run) is
+healthy only if its *temporal* behavior stays inside budget — stale
+serving bounded, no crash loops, parse latency under its p95 budget.  An
+:class:`SloRule` states one such objective; :func:`evaluate_slos` reads
+the observed value from the collector's metrics registry (whole-run
+aggregates) or its attached :class:`~repro.obs.timeseries.TimeSeriesStore`
+(windowed rates and percentiles), emits a typed ``slo.breach`` trace
+event per violated rule, and returns an :class:`SloReport` verdict table
+in the same spirit as the chaos sweep's ``ReliabilityReport``.
+
+Rule grammar (one line per rule, parsed by :func:`parse_rule`)::
+
+    <metric> <agg> <op> <threshold>[/s] [over <seconds>s]
+
+    cache.stale rate < 0.2/s over 30s
+    daemon.crashes count == 0
+    span.cpu.run.duration p95 < 50
+
+``agg`` is one of ``rate`` (per-second counter rate, windowed when the
+rule carries ``over``), ``count``/``value`` (counter total, or windowed
+increase), ``p50``/``p90``/``p95``/``p99`` (histogram quantile, windowed
+when a store is attached and ``over`` is given), ``mean`` and ``max``
+(whole-run histogram aggregates).  Rules with no data (empty histogram,
+absent series) yield a ``no data`` verdict that counts as passing —
+missing telemetry is surfaced, never conflated with a numeric breach.
+"""
+
+from __future__ import annotations
+
+import json
+import operator
+import re
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .collector import Collector
+
+_OPS = {
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "==": operator.eq,
+    "!=": operator.ne,
+}
+
+_AGGS = ("rate", "count", "value", "mean", "max", "p50", "p90", "p95", "p99")
+
+_RULE_RE = re.compile(
+    r"^\s*(?P<metric>[A-Za-z0-9_.:-]+)"
+    r"\s+(?P<agg>" + "|".join(_AGGS) + r")"
+    r"\s*(?P<op><=|>=|==|!=|<|>)"
+    r"\s*(?P<threshold>-?(?:\d+\.?\d*|\.\d+)(?:[eE]-?\d+)?)"
+    r"(?P<per>/s)?"
+    r"(?:\s+over\s+(?P<window>\d+\.?\d*)s)?\s*$"
+)
+
+
+class SloRuleError(ValueError):
+    """A rule string that does not match the grammar."""
+
+
+@dataclass(frozen=True)
+class SloRule:
+    """One objective: ``metric agg op threshold [over window]``."""
+
+    name: str
+    metric: str
+    agg: str
+    op: str
+    threshold: float
+    window: Optional[float] = None
+
+    def __post_init__(self):
+        if self.agg not in _AGGS:
+            raise SloRuleError(f"slo {self.name}: unknown aggregate {self.agg!r}")
+        if self.op not in _OPS:
+            raise SloRuleError(f"slo {self.name}: unknown operator {self.op!r}")
+        if self.window is not None and self.window <= 0:
+            raise SloRuleError(
+                f"slo {self.name}: window must be positive, got {self.window!r}")
+
+    def expr(self) -> str:
+        per = "/s" if self.agg == "rate" else ""
+        over = f" over {self.window:g}s" if self.window is not None else ""
+        return f"{self.metric} {self.agg} {self.op} {self.threshold:g}{per}{over}"
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "metric": self.metric,
+            "agg": self.agg,
+            "op": self.op,
+            "threshold": self.threshold,
+            "window": self.window,
+            "expr": self.expr(),
+        }
+
+
+def parse_rule(text: str, name: Optional[str] = None) -> SloRule:
+    """Parse one grammar line into an :class:`SloRule`."""
+    match = _RULE_RE.match(text)
+    if match is None:
+        raise SloRuleError(
+            f"unparseable SLO rule {text!r} "
+            "(grammar: <metric> <agg> <op> <threshold>[/s] [over <N>s])")
+    agg = match.group("agg")
+    if match.group("per") and agg != "rate":
+        raise SloRuleError(f"SLO rule {text!r}: '/s' only applies to rate")
+    window = match.group("window")
+    return SloRule(
+        name=name or match.group("metric"),
+        metric=match.group("metric"),
+        agg=agg,
+        op=match.group("op"),
+        threshold=float(match.group("threshold")),
+        window=float(window) if window is not None else None,
+    )
+
+
+@dataclass(frozen=True)
+class SloVerdict:
+    """One rule's evaluation: observed value vs. objective."""
+
+    rule: SloRule
+    observed: Optional[float]
+    ok: bool
+    note: str = ""
+
+    def row(self) -> Tuple:
+        shown = "-" if self.observed is None else f"{self.observed:.4g}"
+        status = "ok" if self.ok else "BREACH"
+        if self.note:
+            status += f" ({self.note})"
+        return (self.rule.name, self.rule.expr(), shown, status)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule.to_dict(),
+            "observed": self.observed,
+            "ok": self.ok,
+            "note": self.note,
+        }
+
+
+@dataclass
+class SloReport:
+    """All verdicts for one evaluation pass (deterministic per run)."""
+
+    verdicts: List[SloVerdict]
+
+    HEADERS = ("slo", "objective", "observed", "verdict")
+
+    @property
+    def ok(self) -> bool:
+        return all(verdict.ok for verdict in self.verdicts)
+
+    @property
+    def breaches(self) -> List[SloVerdict]:
+        return [verdict for verdict in self.verdicts if not verdict.ok]
+
+    def describe(self) -> str:
+        from ..core.report import render_table
+
+        status = "ok" if self.ok else f"{len(self.breaches)} BREACHED"
+        return render_table(
+            self.HEADERS,
+            [verdict.row() for verdict in self.verdicts],
+            title=f"SLOs ({status})",
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "breaches": len(self.breaches),
+            "verdicts": [verdict.to_dict() for verdict in self.verdicts],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+#: The stock campaign objectives the dashboard evaluates.  ``crash-free``
+#: is *expected* to breach on attack-bearing scenarios — that breach is
+#: the alert the telemetry exists to raise.
+DEFAULT_SLOS: Tuple[SloRule, ...] = (
+    parse_rule("daemon.crashes count == 0", name="crash-free"),
+    parse_rule("supervisor.start_limit count == 0", name="no-start-limit"),
+    parse_rule("events.dropped count == 0", name="no-event-shedding"),
+    parse_rule("cache.stale rate < 0.2/s over 30s", name="stale-serving"),
+    parse_rule("span.cpu.run.duration p95 < 50", name="parse-latency"),
+)
+
+
+def _observe(rule: SloRule, collector: "Collector",
+             at: Optional[float]) -> Tuple[Optional[float], str]:
+    """The rule's observed value plus a provenance note."""
+    store = collector.series
+    registry = collector.metrics
+    if rule.agg in ("count", "value"):
+        if rule.window is not None and store is not None:
+            windowed = store.delta(rule.metric, rule.window, at)
+            if windowed is not None:
+                return float(windowed), "windowed"
+        return float(registry.value(rule.metric)), ""
+    if rule.agg == "rate":
+        window = rule.window
+        if window is not None and store is not None:
+            rate = store.rate(rule.metric, window, at)
+            if rate is not None:
+                return rate, "windowed"
+        # Whole-run fallback: average rate over the simulated clock.
+        value = registry.value(rule.metric)
+        if collector.clock > 0:
+            return value / collector.clock, "run-average"
+        return (0.0 if value == 0 else float(value)), "clock-never-moved"
+    if rule.agg.startswith("p"):
+        q = int(rule.agg[1:]) / 100.0
+        if rule.window is not None and store is not None:
+            windowed = store.percentile(rule.metric, q, rule.window, at)
+            if windowed is not None:
+                return windowed, "windowed"
+        histogram = registry._histograms.get(rule.metric)
+        if histogram is None:
+            return None, "no data"
+        return histogram.percentile(q), "" if histogram.count else "no data"
+    histogram = registry._histograms.get(rule.metric)
+    if histogram is None or histogram.count == 0:
+        return None, "no data"
+    return (histogram.mean if rule.agg == "mean" else histogram.max), ""
+
+
+def evaluate_slos(rules: Sequence[SloRule], collector: "Collector", *,
+                  at: Optional[float] = None, emit: bool = True) -> SloReport:
+    """Evaluate every rule; breaches become ``slo.breach`` trace events.
+
+    ``at`` pins windowed queries to a moment in the recorded timeline
+    (the dashboard's replay mode); ``emit=False`` suppresses the breach
+    events and counters for such read-only passes.
+    """
+    verdicts: List[SloVerdict] = []
+    for rule in rules:
+        observed, note = _observe(rule, collector, at)
+        if observed is None:
+            verdicts.append(SloVerdict(rule, None, True, note or "no data"))
+            continue
+        ok = _OPS[rule.op](observed, rule.threshold)
+        verdicts.append(SloVerdict(rule, observed, ok, note))
+        if not ok and emit:
+            collector.emit("slo", "slo.breach", rule=rule.name,
+                           expr=rule.expr(), observed=round(observed, 6),
+                           threshold=rule.threshold)
+            collector.inc("slo.breaches")
+    return SloReport(verdicts)

@@ -1,0 +1,361 @@
+"""Windowed time series over the simulated clock.
+
+The metrics registry holds *final* counts; a campaign needs to know how
+the system behaved **over simulated time** — did serve-stale spike during
+the outage window, did restarts cluster, did parse latency drift?  A
+:class:`TimeSeriesStore` attached to a :class:`~repro.obs.Collector`
+(``collector.attach_series(store)``) samples every counter and histogram
+in the registry each time the simulated clock crosses a sampling-grid
+boundary (multiples of ``interval``), via the ``Collector.advance`` /
+``advance_to`` hook.  ``Collector.sample()`` forces an off-grid sample at
+the current clock — the end-of-run flush the dashboard uses on scenarios
+that never move the clock.
+
+Determinism mirrors the rest of the observability layer: grid times are
+pure functions of the clock movements, sample values are snapshots of the
+registry at the crossing, and two same-seed runs produce bit-identical
+stores.  Ring buffers bound memory on long campaigns: each series keeps
+the most recent ``limit`` samples and counts what it sheds.
+
+Worker merge
+------------
+
+The parallel chaos sweep gives each worker its own collector (clock
+starting at zero) and ships the worker's store back to the parent.
+:meth:`TimeSeriesStore.adopt` folds a worker store in with the exact
+semantics the sequential sweep exhibits: the shared collector clock only
+moves *forward* (``advance_to`` is a max), so a later point produces
+samples only at grid times beyond everything already sampled, and each
+sample's value is the *cumulative* registry value — prior points' final
+counts plus the current point's progress.  ``adopt`` therefore skips
+worker samples at already-covered grid times and offsets the rest by the
+parent registry's pre-merge values (pass ``observer.metrics`` *before*
+merging the worker registry), reproducing the sequential store
+bit-for-bit (the parity test pins this).
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_right
+from typing import Any, Dict, List, Optional, Tuple
+
+from .metrics import MetricsRegistry, estimate_percentile
+
+SERIES_SCHEMA = "repro-series/v1"
+
+#: Default sampling period (simulated seconds between grid points).
+DEFAULT_INTERVAL = 1.0
+#: Default ring-buffer depth per series.
+DEFAULT_SERIES_LIMIT = 4096
+
+
+class TimeSeries:
+    """One metric's ring-buffered samples: parallel (time, value) arrays.
+
+    ``kind`` is ``"counter"`` (values are cumulative ints) or
+    ``"histogram"`` (values are ``{"count", "sum", "buckets"}`` snapshots
+    whose bucket layout is the series' ``bounds``).
+    """
+
+    def __init__(self, name: str, kind: str, *,
+                 limit: int = DEFAULT_SERIES_LIMIT,
+                 bounds: Optional[Tuple[float, ...]] = None):
+        if kind not in ("counter", "histogram"):
+            raise ValueError(f"series {name}: unknown kind {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.limit = limit
+        self.bounds = bounds
+        self.times: List[float] = []
+        self.values: List[Any] = []
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def record(self, time: float, value: Any) -> None:
+        """Append one sample; a repeated time re-snapshots in place."""
+        if self.times and self.times[-1] == time:
+            self.values[-1] = value
+            return
+        self.times.append(time)
+        self.values.append(value)
+        if len(self.times) > self.limit:
+            overflow = len(self.times) - self.limit
+            del self.times[:overflow]
+            del self.values[:overflow]
+            self.dropped += overflow
+
+    # -- point queries ---------------------------------------------------------
+
+    def latest(self) -> Optional[Any]:
+        return self.values[-1] if self.values else None
+
+    def at_or_before(self, when: float) -> Optional[Any]:
+        """Value of the most recent sample taken at or before ``when``."""
+        index = bisect_right(self.times, when) - 1
+        return self.values[index] if index >= 0 else None
+
+    def value_at_exact(self, when: float) -> Optional[Any]:
+        """Sample taken at exactly ``when`` (grid lookups for the merge)."""
+        index = bisect_right(self.times, when) - 1
+        if index >= 0 and self.times[index] == when:
+            return self.values[index]
+        return None
+
+    # -- export ----------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        exported: Dict[str, Any] = {
+            "name": self.name,
+            "kind": self.kind,
+            "times": [round(time, 6) for time in self.times],
+            "values": (
+                list(self.values) if self.kind == "counter"
+                else [{"count": value["count"],
+                       "sum": round(value["sum"], 6),
+                       "buckets": list(value["buckets"])}
+                      for value in self.values]
+            ),
+            "dropped": self.dropped,
+        }
+        if self.bounds is not None:
+            exported["bounds"] = list(self.bounds)
+        return exported
+
+
+def _histogram_snapshot(histogram) -> Dict[str, Any]:
+    return {
+        "count": histogram.count,
+        "sum": histogram.total,
+        "buckets": list(histogram.bucket_counts),
+    }
+
+
+class TimeSeriesStore:
+    """Samples a :class:`MetricsRegistry` on the simulated clock's grid."""
+
+    def __init__(self, *, interval: float = DEFAULT_INTERVAL,
+                 limit: int = DEFAULT_SERIES_LIMIT):
+        if interval <= 0:
+            raise ValueError(f"sampling interval must be positive, got {interval!r}")
+        if limit <= 0:
+            raise ValueError(f"series limit must be positive, got {limit!r}")
+        self.interval = interval
+        self.limit = limit
+        self.series: Dict[str, TimeSeries] = {}
+        #: Every sample time taken, in order (ring-capped like the series).
+        self.timeline: List[float] = []
+        self.samples_taken = 0
+        self._next = interval  # first un-sampled grid boundary
+
+    def __len__(self) -> int:
+        return len(self.timeline)
+
+    # -- sampling --------------------------------------------------------------
+
+    def observe_clock(self, clock: float, registry: MetricsRegistry) -> int:
+        """Take one sample per grid boundary the clock has crossed."""
+        taken = 0
+        while self._next <= clock:
+            self._take_sample(self._next, registry)
+            self._next += self.interval
+            taken += 1
+        return taken
+
+    def force_sample(self, clock: float, registry: MetricsRegistry) -> float:
+        """Sample right now, off-grid (the end-of-run flush)."""
+        self._take_sample(clock, registry)
+        return clock
+
+    def _ensure(self, name: str, kind: str,
+                bounds: Optional[Tuple[float, ...]] = None) -> TimeSeries:
+        series = self.series.get(name)
+        if series is None:
+            series = TimeSeries(name, kind, limit=self.limit, bounds=bounds)
+            self.series[name] = series
+        elif series.kind != kind:
+            raise ValueError(
+                f"series {name}: kind changed from {series.kind} to {kind}")
+        elif bounds is not None and series.bounds != bounds:
+            raise ValueError(
+                f"series {name}: histogram bounds changed "
+                f"{series.bounds} -> {bounds}")
+        return series
+
+    def _take_sample(self, time: float, registry: MetricsRegistry) -> None:
+        if not self.timeline or self.timeline[-1] != time:
+            self.timeline.append(time)
+            if len(self.timeline) > self.limit:
+                del self.timeline[:len(self.timeline) - self.limit]
+        self.samples_taken += 1
+        for name, value in registry.counters().items():
+            self._ensure(name, "counter").record(time, value)
+        for name in sorted(registry._histograms):
+            histogram = registry._histograms[name]
+            self._ensure(name, "histogram", histogram.bounds).record(
+                time, _histogram_snapshot(histogram))
+
+    # -- windowed queries ------------------------------------------------------
+
+    def names(self) -> List[str]:
+        return sorted(self.series)
+
+    def latest(self, name: str) -> Optional[Any]:
+        series = self.series.get(name)
+        return series.latest() if series is not None else None
+
+    def last_time(self) -> Optional[float]:
+        return self.timeline[-1] if self.timeline else None
+
+    def delta(self, name: str, window: float,
+              at: Optional[float] = None) -> Optional[float]:
+        """Counter increase over ``[at - window, at]`` (0 before birth)."""
+        series = self.series.get(name)
+        if series is None or not series.times or series.kind != "counter":
+            return None
+        when = at if at is not None else series.times[-1]
+        end = series.at_or_before(when)
+        if end is None:
+            return None
+        start = series.at_or_before(when - window)
+        return end - (start if start is not None else 0)
+
+    def rate(self, name: str, window: float,
+             at: Optional[float] = None) -> Optional[float]:
+        """Average per-second counter rate over the trailing ``window``."""
+        if window <= 0:
+            raise ValueError(f"rate window must be positive, got {window!r}")
+        increase = self.delta(name, window, at)
+        return None if increase is None else increase / window
+
+    def percentile(self, name: str, q: float, window: Optional[float] = None,
+                   at: Optional[float] = None) -> Optional[float]:
+        """Estimated q-quantile of a histogram's observations in a window.
+
+        Works on the *delta* bucket counts between the window's endpoint
+        snapshots, so it reflects only observations inside the window;
+        ``window=None`` uses everything up to ``at``.  Returns ``None``
+        when the series is missing or the window saw no observations.
+        """
+        series = self.series.get(name)
+        if series is None or not series.times or series.kind != "histogram":
+            return None
+        when = at if at is not None else series.times[-1]
+        end = series.at_or_before(when)
+        if end is None:
+            return None
+        start = None
+        if window is not None:
+            start = series.at_or_before(when - window)
+        counts = list(end["buckets"])
+        if start is not None:
+            counts = [now - then for now, then in zip(counts, start["buckets"])]
+        return estimate_percentile(series.bounds or (), counts, q)
+
+    # -- worker merge ----------------------------------------------------------
+
+    def adopt(self, worker: "TimeSeriesStore", offsets: MetricsRegistry) -> int:
+        """Fold a worker store in, reproducing the sequential sweep's store.
+
+        ``offsets`` must be the parent registry *before* the worker's
+        registry is merged into it — its values are the cumulative counts
+        every prior point contributed, exactly what the shared sequential
+        registry held while this point ran.  Worker samples at grid times
+        the parent already covered are skipped (the shared clock, a max,
+        would never have re-crossed them); the rest are offset and
+        adopted.  Returns the number of sample times adopted.
+        """
+        if worker.interval != self.interval:
+            raise ValueError(
+                f"series adopt: interval mismatch "
+                f"{worker.interval} != {self.interval}")
+        counter_offsets = offsets.counters()
+        histogram_offsets = {
+            name: (offsets._histograms[name].bounds,
+                   _histogram_snapshot(offsets._histograms[name]))
+            for name in offsets._histograms
+        }
+        carried = set(counter_offsets) | set(histogram_offsets)
+        adopted = 0
+        for time in worker.timeline:
+            if time < self._next:
+                continue
+            if not self.timeline or self.timeline[-1] != time:
+                self.timeline.append(time)
+                if len(self.timeline) > self.limit:
+                    del self.timeline[:len(self.timeline) - self.limit]
+            self.samples_taken += 1
+            adopted += 1
+            names = sorted(carried | set(worker.series))
+            for name in names:
+                worker_series = worker.series.get(name)
+                value = (worker_series.value_at_exact(time)
+                         if worker_series is not None else None)
+                if value is None and name not in carried:
+                    continue  # metric not born yet at this sample time
+                kind = (worker_series.kind if worker_series is not None
+                        else ("counter" if name in counter_offsets
+                              else "histogram"))
+                if kind == "counter":
+                    base = counter_offsets.get(name, 0)
+                    merged = base + (value if value is not None else 0)
+                    self._ensure(name, "counter").record(time, merged)
+                else:
+                    bounds, base = histogram_offsets.get(name, (None, None))
+                    if worker_series is not None:
+                        if bounds is not None and worker_series.bounds != bounds:
+                            raise ValueError(
+                                f"series adopt: histogram {name!r} bounds "
+                                f"differ: {worker_series.bounds} vs {bounds}")
+                        bounds = worker_series.bounds
+                    if value is None:
+                        merged_value = {"count": base["count"],
+                                        "sum": base["sum"],
+                                        "buckets": list(base["buckets"])}
+                    elif base is None:
+                        merged_value = {"count": value["count"],
+                                        "sum": value["sum"],
+                                        "buckets": list(value["buckets"])}
+                    else:
+                        merged_value = {
+                            "count": base["count"] + value["count"],
+                            "sum": base["sum"] + value["sum"],
+                            "buckets": [mine + theirs for mine, theirs
+                                        in zip(base["buckets"], value["buckets"])],
+                        }
+                    self._ensure(name, "histogram", bounds).record(
+                        time, merged_value)
+            self._next = time + self.interval
+        return adopted
+
+    # -- export ----------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SERIES_SCHEMA,
+            "interval": self.interval,
+            "samples_taken": self.samples_taken,
+            "timeline": [round(time, 6) for time in self.timeline],
+            "series": {name: self.series[name].to_dict()
+                       for name in sorted(self.series)},
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def describe(self) -> str:
+        last = self.last_time()
+        header = (f"series store: {len(self.series)} series, "
+                  f"{self.samples_taken} samples"
+                  + (f", last t={last:.1f}s" if last is not None else ""))
+        lines = [header]
+        for name in self.names():
+            series = self.series[name]
+            tail = series.latest()
+            shown = tail if series.kind == "counter" else (
+                f"count={tail['count']}" if tail else "-")
+            lines.append(f"  {name:<32} [{series.kind}] "
+                         f"{len(series)} samples, last {shown}")
+        return "\n".join(lines)

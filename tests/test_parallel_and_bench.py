@@ -86,6 +86,25 @@ class TestParallelParity:
 
         assert links(par_collector.tracer) == links(seq_collector.tracer)
 
+    def test_chaos_sweep_parallel_merges_worker_series(self):
+        """Time-series parity under workers=2: the adopted worker stores
+        reproduce the sequential sweep's sampled series bit for bit."""
+        from repro.obs import TimeSeriesStore
+
+        kwargs = dict(queries_per_rate=6, attack_budget=6)
+        seq_collector = Collector(series=TimeSeriesStore())
+        par_collector = Collector(series=TimeSeriesStore())
+        run_chaos_sweep((0.0, 0.2, 0.5), workers=1,
+                        observer=seq_collector, **kwargs)
+        run_chaos_sweep((0.0, 0.2, 0.5), workers=2,
+                        observer=par_collector, **kwargs)
+        assert par_collector.series.timeline  # the sweep actually sampled
+        assert par_collector.clock == seq_collector.clock
+        seq_dict = seq_collector.series.to_dict()
+        par_dict = par_collector.series.to_dict()
+        assert json.dumps(par_dict, sort_keys=True) == \
+               json.dumps(seq_dict, sort_keys=True)
+
     def test_reliability_study_parallel_matches_sequential(self):
         sequential = run_reliability_study(trials=2, workers=1)
         parallel = run_reliability_study(trials=2, workers=2)
