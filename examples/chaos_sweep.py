@@ -15,7 +15,10 @@ Also shows the two headline mechanisms in isolation:
 Run:  python examples/chaos_sweep.py
 """
 
+import json
+import os
 import random
+import tempfile
 
 from repro.connman import ConnmanDaemon, DaemonSupervisor
 from repro.defenses import WX_ASLR
@@ -63,10 +66,35 @@ def show_supervised_bruteforce() -> None:
     print()
 
 
+def show_checkpoint_resume() -> None:
+    """A sweep journaled to a checkpoint, then resumed from it.
+
+    On the command line the same round trip is:
+
+        python -m repro chaos --workers 4 --checkpoint run.ckpt --json
+        ... SIGKILL mid-sweep ...
+        python -m repro chaos --workers 4 --resume run.ckpt --json
+
+    The resumed artifact is byte-identical to an uninterrupted run;
+    only the trials missing from the journal re-execute.
+    """
+    print("=== checkpointed sweep, then resume ===")
+    path = os.path.join(tempfile.mkdtemp(), "chaos.ckpt")
+    first = run_chaos_sweep((0.0, 0.2, 0.5), checkpoint=path)
+    resumed = run_chaos_sweep((0.0, 0.2, 0.5), checkpoint=path, resume=True)
+    identical = (json.dumps(first.to_dict(), sort_keys=True)
+                 == json.dumps(resumed.to_dict(), sort_keys=True))
+    print(f"journal           : {path}")
+    print(f"resume health     : {resumed.health.describe()}")
+    print(f"artifact identical: {identical}")
+    print()
+
+
 def main() -> None:
     print(__doc__)
     show_resilient_resolution()
     show_supervised_bruteforce()
+    show_checkpoint_resume()
     report = run_chaos_sweep((0.0, 0.2, 0.5))
     print(report.describe())
 

@@ -272,23 +272,63 @@ def _parse_rates(text: str) -> tuple:
 def cmd_chaos(args) -> int:
     """Sweep fault rates: client availability vs. attack success."""
     import json
+    import os
 
-    from .obs import Collector, TimeSeriesStore
+    from .core import CheckpointMismatch, RunPolicy
+    from .obs import (SWEEP_SLOS, Collector, SloRuleError, TimeSeriesStore,
+                      evaluate_slos, parse_rule)
 
     rates = _parse_rates(args.rates)
-    report = run_chaos_sweep(
-        rates,
-        seed=args.seed,
-        queries_per_rate=args.queries,
-        attack_budget=args.attack_budget,
-        observer=Collector(series=TimeSeriesStore()),
-        workers=args.workers,
-    )
+    checkpoint = args.resume or args.checkpoint
+    resume = args.resume is not None
+    if (not resume and checkpoint and os.path.exists(checkpoint)
+            and os.path.getsize(checkpoint) > 0):
+        print(f"repro chaos: checkpoint {checkpoint!r} already has journaled "
+              "trials; pass --resume to continue it or remove the file to "
+              "start over", file=sys.stderr)
+        return 2
+    policy = RunPolicy(timeout=args.trial_timeout, retries=args.retries,
+                       on_failure="quarantine")
+    try:
+        health_slos = tuple(
+            parse_rule(rule) for rule in args.health_slo
+        ) if args.health_slo else SWEEP_SLOS
+    except SloRuleError as exc:
+        print(f"repro chaos: {exc}", file=sys.stderr)
+        return 2
+    # Two collectors, deliberately: the scientific observer feeds the
+    # deterministic artifact; the sweep observer records wall-clock harness
+    # health (retries, timeouts, respawns) that must never leak into it.
+    sweep_observer = Collector()
+    try:
+        report = run_chaos_sweep(
+            rates,
+            seed=args.seed,
+            queries_per_rate=args.queries,
+            attack_budget=args.attack_budget,
+            observer=Collector(series=TimeSeriesStore()),
+            workers=args.workers,
+            policy=policy,
+            checkpoint=checkpoint,
+            resume=resume,
+            sweep_observer=sweep_observer,
+        )
+    except CheckpointMismatch as exc:
+        print(f"repro chaos: {exc}", file=sys.stderr)
+        return 2
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
     else:
         print(report.describe())
-    return 0
+    # Harness health goes to stderr so stdout stays a pure artifact that
+    # byte-compares across interrupted-then-resumed and clean runs.
+    if report.health is not None:
+        print(report.health.describe(), file=sys.stderr)
+    slo_report = evaluate_slos(health_slos, sweep_observer, emit=False)
+    print(slo_report.describe(), file=sys.stderr)
+    for failure in report.failures:
+        print(f"repro chaos: {failure.describe()}", file=sys.stderr)
+    return 0 if not report.failures and slo_report.ok else 1
 
 
 def _observed_chaos_run(args):
@@ -629,6 +669,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fan sweep points out over N processes "
                             "(0 = one per CPU); cells match --workers 1")
     chaos.add_argument("--json", action="store_true", help="machine-readable output")
+    journal = chaos.add_mutually_exclusive_group()
+    journal.add_argument("--checkpoint", metavar="PATH",
+                         help="journal completed trials to an append-only "
+                              "JSONL checkpoint at PATH")
+    journal.add_argument("--resume", metavar="PATH",
+                         help="resume a killed sweep from its checkpoint; "
+                              "only unfinished trials re-execute and the "
+                              "artifact is byte-identical to an "
+                              "uninterrupted run")
+    chaos.add_argument("--trial-timeout", type=float, default=120.0,
+                       help="wall-clock seconds before a hung trial's pool "
+                            "is respawned (default 120)")
+    chaos.add_argument("--retries", type=int, default=2,
+                       help="retry budget per trial before it is "
+                            "quarantined (default 2)")
+    chaos.add_argument("--health-slo", action="append", metavar="RULE",
+                       help="sweep-health SLO gating the exit code, e.g. "
+                            "'sweep.quarantined count == 0' (repeatable; "
+                            "default: the built-in sweep set)")
     chaos.set_defaults(run=cmd_chaos)
 
     bench = subparsers.add_parser(

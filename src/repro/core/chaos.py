@@ -27,7 +27,9 @@ from ..dns import ResilientResolver, SimpleDnsServer, make_query
 from ..exploit import AslrBruteForcer
 from ..net import FaultPolicy, faulty_transport
 from ..obs import Collector, TimeSeriesStore
-from .parallel import resolve_workers, run_tasks
+from .parallel import (DEFAULT_POLICY, RunPolicy, SweepStats, resolve_workers,
+                       run_supervised)
+from .resume import SweepCheckpoint, TrialFailure, grid_hash
 from .report import render_table
 
 #: Client names rotate through this many hosts (so revisits hit the cache).
@@ -87,20 +89,30 @@ class ReliabilityReport:
     #: Metrics summary from the sweep's attached collector (counters +
     #: histograms over every cell), when the sweep ran observed.
     metrics: Optional[dict] = None
+    #: Trials that exhausted their retry budget under a quarantine policy
+    #: (empty for strict/healthy runs, so the artifact stays byte-stable).
+    failures: List[TrialFailure] = field(default_factory=list)
+    #: Harness-health ledger from the supervised runner (not part of the
+    #: results artifact: retry/timeout counts are wall-clock dependent).
+    health: Optional[SweepStats] = None
 
     HEADERS = ("fault rate", "answered", "stale", "failed", "restarts",
                "availability", "attack")
 
     def describe(self) -> str:
-        return render_table(
+        text = render_table(
             self.HEADERS,
             [cell.row() for cell in self.cells],
             title=f"chaos sweep (seed {self.seed})",
         )
+        for failure in self.failures:
+            text += f"\nQUARANTINED {failure.describe()}"
+        return text
 
     def to_dict(self) -> dict:
         return {
             "seed": self.seed,
+            "failures": [failure.to_dict() for failure in self.failures],
             "cells": [
                 {
                     "fault_rate": cell.fault_rate,
@@ -249,6 +261,10 @@ def _chaos_point_task(task: Tuple) -> Tuple:
             collector.series, collector.clock)
 
 
+#: Checkpoint identity for the chaos sweep (resume validates against it).
+CHAOS_EXPERIMENT_ID = "E16.chaos"
+
+
 def run_chaos_sweep(
     rates: Sequence[float] = (0.0, 0.2, 0.5),
     *,
@@ -259,6 +275,10 @@ def run_chaos_sweep(
     start_limit_burst: int = 6,
     observer: Optional[Collector] = None,
     workers: Optional[int] = 1,
+    policy: Optional[RunPolicy] = None,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+    sweep_observer: Optional[Collector] = None,
 ) -> ReliabilityReport:
     """Sweep the fault level; each point gets an independent derived seed.
 
@@ -273,9 +293,25 @@ def run_chaos_sweep(
     matches the sequential sweep's exactly).  Event traces stay per-worker
     in that mode — only the sequential path streams events into the parent
     collector.
+
+    Resilience: ``policy`` adds per-trial timeouts/retries (quarantined
+    points land in ``report.failures`` instead of aborting the sweep);
+    ``checkpoint`` journals every completed point to an append-only JSONL
+    file so a killed sweep restarted with ``resume=True`` re-executes only
+    the unfinished points and produces a byte-identical results artifact.
+    ``sweep_observer`` receives the harness-health counters
+    (``sweep.retries``/``sweep.timeouts``/``sweep.quarantined``/
+    ``sweep.resumed_trials``) — deliberately a *separate* collector from
+    ``observer`` so wall-clock-dependent harness telemetry never leaks
+    into the deterministic results artifact.
     """
     report = ReliabilityReport(seed=seed)
-    if resolve_workers(workers) > 1 and len(rates) > 1:
+    # Checkpointing (or resuming) always takes the task-fanout path, even
+    # sequentially, so the journal sees identical trial payloads at any
+    # worker count — the resume artifact must not depend on ``workers``.
+    use_tasks = (checkpoint is not None or resume
+                 or (resolve_workers(workers) > 1 and len(rates) > 1))
+    if use_tasks:
         store = observer.series if observer is not None else None
         tasks = [
             (level, seed + 7919 * index, queries_per_rate, attack_budget,
@@ -284,8 +320,29 @@ def run_chaos_sweep(
              store.limit if store is not None else 0)
             for index, level in enumerate(rates)
         ]
-        for cell, metrics, spans, series, clock in run_tasks(
-                _chaos_point_task, tasks, workers=workers):
+        journal = None
+        if checkpoint is not None:
+            journal = SweepCheckpoint(
+                checkpoint, experiment=CHAOS_EXPERIMENT_ID,
+                grid_hash=grid_hash(tasks), total=len(tasks), seed=seed,
+                resume=resume,
+            )
+        try:
+            outcome = run_supervised(
+                _chaos_point_task, tasks, workers=workers,
+                policy=policy if policy is not None else DEFAULT_POLICY,
+                observer=sweep_observer, checkpoint=journal,
+                seed_of=lambda task: task[1], label="chaos",
+            )
+        finally:
+            if journal is not None:
+                journal.close()
+        report.failures = outcome.failures
+        report.health = outcome.stats
+        for payload in outcome.results:
+            if isinstance(payload, TrialFailure):
+                continue  # quarantined point: reported, not merged
+            cell, metrics, spans, series, clock = payload
             report.cells.append(cell)
             if observer is not None:
                 if store is not None and series is not None:

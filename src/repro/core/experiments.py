@@ -658,8 +658,15 @@ def e15_entropy_sweep(runs_per_point: int = 5, *,
 
 def e16_chaos(rates: Sequence[float] = (0.0, 0.2, 0.5),
               queries_per_rate: int = 24, attack_budget: int = 32, *,
-              workers: Optional[int] = 1) -> ExperimentResult:
-    """Fault-rate sweep plus the supervised-vs-unsupervised brute force."""
+              workers: Optional[int] = 1, checkpoint: Optional[str] = None,
+              resume: bool = False, policy=None,
+              sweep_observer=None) -> ExperimentResult:
+    """Fault-rate sweep plus the supervised-vs-unsupervised brute force.
+
+    ``checkpoint``/``resume``/``policy``/``sweep_observer`` flow straight
+    into :func:`~repro.core.chaos.run_chaos_sweep`: an E16 run killed
+    mid-sweep resumes from its journal with a byte-identical table.
+    """
     from ..connman import DaemonSupervisor
     from ..exploit import AslrBruteForcer
     from ..obs import Collector
@@ -675,7 +682,9 @@ def e16_chaos(rates: Sequence[float] = (0.0, 0.2, 0.5),
     collector = Collector()
     report = run_chaos_sweep(rates, queries_per_rate=queries_per_rate,
                              attack_budget=attack_budget, observer=collector,
-                             workers=workers)
+                             workers=workers, checkpoint=checkpoint,
+                             resume=resume, policy=policy,
+                             sweep_observer=sweep_observer)
     result.metrics = collector.metrics.to_dict()
     for cell in report.cells:
         if cell.fault_rate == 0.0:

@@ -130,4 +130,7 @@ def run_reliability_study(trials: int = 10, seed: int = 0xE14, *,
     from .parallel import run_tasks
 
     tasks = [(index, trials, seed) for index in range(len(STUDY_PLAN))]
-    return run_tasks(_reliability_cell, tasks, workers=workers)
+    # seed_of: failure context for tuple-shaped tasks (the derived study
+    # seed lives in slot 2 of each spec).
+    return run_tasks(_reliability_cell, tasks, workers=workers,
+                     seed_of=lambda task: task[2], label="reliability")

@@ -14,9 +14,13 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from ..exploit import BruteForceTrial, run_bruteforce_trial
-from .parallel import run_tasks
+from .parallel import RunPolicy, run_tasks
+from .resume import SweepCheckpoint, grid_hash
 
 DEFAULT_ENTROPY_SERIES = (16, 64, 256, 1024)
+
+#: Checkpoint identity for the entropy sweep (resume validates against it).
+ENTROPY_EXPERIMENT_ID = "E15.entropy"
 
 
 @dataclass(frozen=True)
@@ -61,12 +65,20 @@ def sweep_bruteforce_entropy(
     seed: int = 0xE15,
     *,
     workers: Optional[int] = 1,
+    policy: Optional[RunPolicy] = None,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
 ) -> List[EntropyPoint]:
     """Median brute-force attempts as the randomization span grows.
 
     Every (entropy, run) trial carries its own derived seed, so the fan-out
     is order-independent: ``workers=N`` produces the exact attempt lists of
-    the sequential sweep.
+    the sequential sweep — and a ``checkpoint``-journaled run killed
+    mid-sweep resumes (``resume=True``) to the same lists, re-executing
+    only the missing trials.  This series needs every trial (the medians
+    are positional), so the sweep stays strict: a trial that exhausts the
+    policy's retry budget raises :class:`~repro.core.resume.TaskError`
+    with its index and derived victim seed attached.
     """
     trials = [
         BruteForceTrial(
@@ -78,7 +90,19 @@ def sweep_bruteforce_entropy(
         for entropy in entropy_series
         for run in range(runs_per_point)
     ]
-    results = run_tasks(run_bruteforce_trial, trials, workers=workers)
+    journal = None
+    if checkpoint is not None:
+        journal = SweepCheckpoint(
+            checkpoint, experiment=ENTROPY_EXPERIMENT_ID,
+            grid_hash=grid_hash(trials), total=len(trials), seed=seed,
+            resume=resume,
+        )
+    try:
+        results = run_tasks(run_bruteforce_trial, trials, workers=workers,
+                            policy=policy, checkpoint=journal, label="entropy")
+    finally:
+        if journal is not None:
+            journal.close()
     points: List[EntropyPoint] = []
     for index, entropy in enumerate(entropy_series):
         slice_ = results[index * runs_per_point : (index + 1) * runs_per_point]

@@ -34,6 +34,7 @@ from .openmetrics import (
 )
 from .slo import (
     DEFAULT_SLOS,
+    SWEEP_SLOS,
     SloReport,
     SloRule,
     SloRuleError,
@@ -86,6 +87,7 @@ __all__ = [
     "sniff_capture",
     "snapshot_payload",
     "Span",
+    "SWEEP_SLOS",
     "sparkline",
     "TimeSeries",
     "TimeSeriesStore",

@@ -194,6 +194,15 @@ DEFAULT_SLOS: Tuple[SloRule, ...] = (
     parse_rule("span.cpu.run.duration p95 < 50", name="parse-latency"),
 )
 
+#: Harness-health objectives for the supervised sweep runner, evaluated
+#: against the *sweep* collector (``repro chaos`` gates its exit on them).
+#: Retries/timeouts/respawns are the supervisor doing its job — recovered
+#: faults, surfaced but not gated; quarantined trials mean results are
+#: missing, which is the one degradation a campaign must not ship silently.
+SWEEP_SLOS: Tuple[SloRule, ...] = (
+    parse_rule("sweep.quarantined count == 0", name="no-quarantined-trials"),
+)
+
 
 def _observe(rule: SloRule, collector: "Collector",
              at: Optional[float]) -> Tuple[Optional[float], str]:

@@ -1,0 +1,347 @@
+"""Supervised sweep execution: retries, timeouts, quarantine, resume.
+
+The resilience contract under test: a trial that raises is retried
+bit-identically and, past its budget, quarantined into a typed slot; a
+hung or OS-killed worker surfaces as a missed heartbeat and costs only a
+pool respawn; a SIGKILLed sweep resumes from its JSONL checkpoint into a
+byte-identical artifact, re-executing only the unfinished trials.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import (
+    CheckpointMismatch,
+    RunPolicy,
+    SweepCheckpoint,
+    TaskError,
+    TrialFailure,
+    grid_hash,
+    load_checkpoint_results,
+    run_chaos_sweep,
+    run_supervised,
+    run_tasks,
+)
+from repro.core import parallel as parallel_mod
+from repro.exploit.bruteforce import BruteForceTrial
+from repro.obs import Collector
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FAST = RunPolicy(retries=0, backoff=0.0, poll_interval=0.005,
+                 on_failure="quarantine")
+
+
+# -- module-level workers (pool-picklable) ------------------------------------
+
+def _square(value):
+    return value * value
+
+
+def _explode_on_odd(value):
+    if value % 2:
+        raise ValueError(f"odd task {value}")
+    return value * 10
+
+
+def _flaky_until_marker(task):
+    """Fails until its marker file exists; creating it makes the retry pass.
+
+    The marker crosses process boundaries, so the flake behaves the same
+    under pool dispatch and in-process retry.
+    """
+    value, marker = task
+    if not os.path.exists(marker):
+        with open(marker, "w", encoding="utf-8") as handle:
+            handle.write("tried")
+        raise RuntimeError(f"transient fault on task {value}")
+    return value * value
+
+
+def _hang_on_seven(value):
+    if value == 7:
+        time.sleep(60.0)
+    return value + 100
+
+
+def _die_on_three(value):
+    if value == 3:
+        os._exit(3)  # a worker the OS reaped: no exception, no result
+    return value * 2
+
+
+# -- satellite 1: strict-mode errors carry task context -----------------------
+
+class TestTaskErrorContext:
+    def test_sequential_error_names_index_and_seed(self):
+        trials = [BruteForceTrial(victim_seed=40 + i, attacker_seed=1,
+                                  max_attempts=4) for i in range(3)]
+
+        def boom(trial):
+            raise ValueError("nope")
+
+        # Sequential fast path still wraps with context (worker is a
+        # closure here, which only the in-process path allows).
+        with pytest.raises(TaskError) as excinfo:
+            run_tasks(boom, trials, workers=1)
+        assert excinfo.value.index == 0
+        assert excinfo.value.seed == 40  # victim_seed of task 0
+        assert "seed 40" in str(excinfo.value)
+
+    def test_pool_error_names_index(self):
+        with pytest.raises(TaskError) as excinfo:
+            run_tasks(_explode_on_odd, [0, 2, 4, 5, 6], workers=2,
+                      policy=RunPolicy(poll_interval=0.005))
+        assert excinfo.value.index == 3
+        assert "odd task 5" in excinfo.value.failure.error
+
+    def test_run_tasks_forces_strict_mode(self):
+        # Even a quarantine policy cannot make run_tasks swallow failures.
+        with pytest.raises(TaskError):
+            run_tasks(_explode_on_odd, [1],
+                      policy=RunPolicy(on_failure="quarantine"))
+
+
+# -- tentpole: quarantine, retry, heartbeat -----------------------------------
+
+class TestQuarantine:
+    def test_failures_occupy_positional_slots(self):
+        outcome = run_supervised(_explode_on_odd, [0, 1, 2, 3, 4],
+                                 workers=1, policy=FAST)
+        assert outcome.results[0] == 0
+        assert isinstance(outcome.results[1], TrialFailure)
+        assert outcome.results[2] == 20
+        assert isinstance(outcome.results[3], TrialFailure)
+        assert outcome.results[4] == 40
+        assert [f.index for f in outcome.failures] == [1, 3]
+        assert outcome.completed() == [0, 20, 40]
+        assert not outcome.ok
+        assert outcome.stats.quarantined == 2
+        assert outcome.stats.executed == 3
+
+    def test_quarantine_record_is_typed(self):
+        outcome = run_supervised(_explode_on_odd, [5], workers=1, policy=FAST)
+        failure = outcome.failures[0]
+        assert failure.kind == "error"
+        assert failure.attempts == 1
+        assert "odd task 5" in failure.error
+        assert "quarantined after 1 attempt(s)" in failure.describe()
+        assert failure.to_dict()["index"] == 0
+
+    def test_retry_results_bit_identical(self, tmp_path):
+        markers = [str(tmp_path / f"marker-{i}") for i in range(6)]
+        tasks = list(zip(range(6), markers))
+        policy = RunPolicy(retries=1, backoff=0.0, poll_interval=0.005,
+                           on_failure="quarantine")
+        observer = Collector()
+        outcome = run_supervised(_flaky_until_marker, tasks, workers=2,
+                                 policy=policy, observer=observer)
+        # Every trial failed once, then succeeded — with the same result a
+        # never-faulting run produces.
+        assert outcome.ok
+        assert outcome.results == [v * v for v in range(6)]
+        assert outcome.stats.retries == 6
+        assert observer.metrics.value("sweep.retries") == 6
+        assert observer.metrics.value("sweep.quarantined") == 0
+
+    def test_retry_budget_exhaustion_quarantines(self, tmp_path):
+        # retries=0: the first transient fault is already terminal.
+        marker = str(tmp_path / "never-helped")
+        outcome = run_supervised(_flaky_until_marker, [(1, marker)],
+                                 workers=1, policy=FAST)
+        assert isinstance(outcome.results[0], TrialFailure)
+        assert outcome.failures[0].attempts == 1
+
+    def test_hung_worker_times_out_and_others_complete(self):
+        policy = RunPolicy(timeout=0.8, retries=0, backoff=0.0,
+                           poll_interval=0.01, on_failure="quarantine")
+        observer = Collector()
+        outcome = run_supervised(_hang_on_seven, [1, 7, 2], workers=2,
+                                 policy=policy, observer=observer)
+        assert outcome.results[0] == 101
+        assert outcome.results[2] == 102
+        failure = outcome.results[1]
+        assert isinstance(failure, TrialFailure)
+        assert failure.kind == "timeout"
+        assert "deadline" in failure.error
+        assert outcome.stats.timeouts == 1
+        assert outcome.stats.respawns >= 1
+        assert observer.metrics.value("sweep.timeouts") == 1
+        assert observer.metrics.value("sweep.respawns") >= 1
+
+    def test_worker_killed_midtrial_is_detected(self):
+        # os._exit(3) in the pool child: the task can never complete, so
+        # the heartbeat deadline is the detection path.
+        policy = RunPolicy(timeout=1.0, retries=0, backoff=0.0,
+                           poll_interval=0.01, on_failure="quarantine")
+        outcome = run_supervised(_die_on_three, [1, 3, 5], workers=2,
+                                 policy=policy)
+        assert outcome.results[0] == 2
+        assert outcome.results[2] == 10
+        assert isinstance(outcome.results[1], TrialFailure)
+        assert outcome.stats.respawns >= 1
+
+
+class TestFallback:
+    def test_pool_creation_failure_falls_back_loudly(self, monkeypatch):
+        class _BrokenContext:
+            def Pool(self, processes):
+                raise OSError("no POSIX semaphores in this sandbox")
+
+        monkeypatch.setattr(parallel_mod, "_pool_context",
+                            lambda: _BrokenContext())
+        observer = Collector()
+        outcome = run_supervised(_square, [1, 2, 3, 4], workers=4,
+                                 policy=FAST, observer=observer)
+        assert outcome.results == [1, 4, 9, 16]
+        assert outcome.ok
+        assert "semaphores" in outcome.stats.fallback_reason
+        assert observer.metrics.value("sweep.fallback") == 1
+        events = [e for e in observer.bus.events if e.kind == "sweep.fallback"]
+        assert events and events[0].detail["stage"] == "pool-creation"
+
+
+# -- tentpole: the checkpoint journal -----------------------------------------
+
+class TestCheckpoint:
+    def test_journal_round_trip(self, tmp_path):
+        path = str(tmp_path / "sweep.ckpt")
+        tasks = [10, 11, 12]
+        digest = grid_hash(tasks)
+        with SweepCheckpoint(path, experiment="unit", grid_hash=digest,
+                             total=3, seed=9) as journal:
+            outcome = run_supervised(_square, tasks, workers=1, policy=FAST,
+                                     checkpoint=journal)
+        assert outcome.results == [100, 121, 144]
+        lines = Path(path).read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["schema"] == "repro-sweep-checkpoint/v1"
+        assert header["experiment"] == "unit"
+        assert header["grid_hash"] == digest
+        assert header["total"] == 3
+        assert len(lines) == 4  # header + one line per trial
+        assert load_checkpoint_results(path) == {0: 100, 1: 121, 2: 144}
+
+    def test_resume_short_circuits_completed_trials(self, tmp_path):
+        path = str(tmp_path / "sweep.ckpt")
+        tasks = [10, 11, 12]
+        digest = grid_hash(tasks)
+        with SweepCheckpoint(path, experiment="unit", grid_hash=digest,
+                             total=3) as journal:
+            journal.record(0, 100)
+            journal.record(2, 144)
+        with SweepCheckpoint(path, experiment="unit", grid_hash=digest,
+                             total=3, resume=True) as journal:
+            assert journal.completed == {0: 100, 2: 144}
+            observer = Collector()
+            outcome = run_supervised(_square, tasks, workers=1, policy=FAST,
+                                     checkpoint=journal, observer=observer)
+        assert outcome.results == [100, 121, 144]
+        assert outcome.stats.resumed == 2
+        assert outcome.stats.executed == 1  # only trial 1 re-ran
+        assert observer.metrics.value("sweep.resumed_trials") == 2
+
+    def test_resume_rejects_different_grid(self, tmp_path):
+        path = str(tmp_path / "sweep.ckpt")
+        with SweepCheckpoint(path, experiment="unit",
+                             grid_hash=grid_hash([1, 2]), total=2) as journal:
+            journal.record(0, 1)
+        with pytest.raises(CheckpointMismatch, match="grid_hash"):
+            SweepCheckpoint(path, experiment="unit",
+                            grid_hash=grid_hash([3, 4]), total=2, resume=True)
+
+    def test_resume_rejects_different_experiment(self, tmp_path):
+        path = str(tmp_path / "sweep.ckpt")
+        digest = grid_hash([1])
+        SweepCheckpoint(path, experiment="E16.chaos", grid_hash=digest,
+                        total=1).close()
+        with pytest.raises(CheckpointMismatch, match="experiment"):
+            SweepCheckpoint(path, experiment="E15.entropy", grid_hash=digest,
+                            total=1, resume=True)
+
+    def test_torn_trailing_line_is_ignored(self, tmp_path):
+        path = str(tmp_path / "sweep.ckpt")
+        digest = grid_hash([10, 11])
+        with SweepCheckpoint(path, experiment="unit", grid_hash=digest,
+                             total=2) as journal:
+            journal.record(0, 100)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"index": 1, "crc": 0, "payl')  # SIGKILL mid-write
+        with SweepCheckpoint(path, experiment="unit", grid_hash=digest,
+                             total=2, resume=True) as journal:
+            assert journal.completed == {0: 100}
+
+    def test_resume_missing_file_starts_fresh(self, tmp_path):
+        path = str(tmp_path / "never-written.ckpt")
+        with SweepCheckpoint(path, experiment="unit",
+                             grid_hash=grid_hash([1]), total=1,
+                             resume=True) as journal:
+            assert journal.completed == {}
+            journal.record(0, 7)
+        assert load_checkpoint_results(path) == {0: 7}
+
+
+# -- acceptance: kill mid-sweep, resume, byte-identical artifact --------------
+
+def _run_chaos_cli(tmp_path, *extra, env_extra=None, name="out"):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env.pop("REPRO_SWEEP_KILL_AFTER", None)
+    if env_extra:
+        env.update(env_extra)
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "chaos",
+         "--rates", "0,0.2,0.5", "--seed", "7", "--queries", "5",
+         "--attack-budget", "5", "--workers", "2", "--json", *extra],
+        capture_output=True, text=True, env=env, cwd=str(tmp_path),
+        timeout=120,
+    )
+
+
+class TestKillAndResume:
+    def test_sigkilled_sweep_resumes_byte_identical(self, tmp_path):
+        clean = _run_chaos_cli(tmp_path)
+        assert clean.returncode == 0, clean.stderr
+
+        ckpt = str(tmp_path / "chaos.ckpt")
+        killed = _run_chaos_cli(tmp_path, "--checkpoint", ckpt,
+                                env_extra={"REPRO_SWEEP_KILL_AFTER": "1"})
+        assert killed.returncode == -9  # SIGKILL, mid-sweep
+        journaled = load_checkpoint_results(ckpt)
+        assert len(journaled) == 1  # died right after the first journal line
+
+        resumed = _run_chaos_cli(tmp_path, "--resume", ckpt)
+        assert resumed.returncode == 0, resumed.stderr
+        assert resumed.stdout == clean.stdout  # byte-identical artifact
+        assert "1 resumed" in resumed.stderr
+        # Only the two unfinished trials re-executed.
+        assert len(load_checkpoint_results(ckpt)) == 3
+
+    def test_checkpoint_refuses_to_truncate_without_resume(self, tmp_path):
+        ckpt = str(tmp_path / "chaos.ckpt")
+        killed = _run_chaos_cli(tmp_path, "--checkpoint", ckpt,
+                                env_extra={"REPRO_SWEEP_KILL_AFTER": "1"})
+        assert killed.returncode == -9
+        rerun = _run_chaos_cli(tmp_path, "--checkpoint", ckpt)
+        assert rerun.returncode == 2
+        assert "--resume" in rerun.stderr
+
+
+class TestChaosParity:
+    def test_checkpointed_parallel_matches_sequential(self, tmp_path):
+        plain = run_chaos_sweep(rates=[0.0, 0.3], seed=11, queries_per_rate=5,
+                                attack_budget=5, workers=1)
+        journaled = run_chaos_sweep(rates=[0.0, 0.3], seed=11,
+                                    queries_per_rate=5, attack_budget=5,
+                                    workers=2,
+                                    checkpoint=str(tmp_path / "c.ckpt"))
+        assert (json.dumps(plain.to_dict(), sort_keys=True)
+                == json.dumps(journaled.to_dict(), sort_keys=True))
+        assert journaled.health is not None
+        assert journaled.health.executed == 2
+        assert journaled.failures == []
