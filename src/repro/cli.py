@@ -677,7 +677,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="resume a killed sweep from its checkpoint; "
                               "only unfinished trials re-execute and the "
                               "artifact is byte-identical to an "
-                              "uninterrupted run")
+                              "uninterrupted run (PATH is trusted input: "
+                              "payloads are unpickled, restricted to "
+                              "classes from the repro package)")
     chaos.add_argument("--trial-timeout", type=float, default=120.0,
                        help="wall-clock seconds before a hung trial's pool "
                             "is respawned (default 120)")

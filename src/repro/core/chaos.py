@@ -309,7 +309,13 @@ def run_chaos_sweep(
     # Checkpointing (or resuming) always takes the task-fanout path, even
     # sequentially, so the journal sees identical trial payloads at any
     # worker count — the resume artifact must not depend on ``workers``.
+    # A supplied ``policy`` or ``sweep_observer`` forces it too: the
+    # supervised runner is the only place retries/quarantine/health
+    # counters exist, so a sequential `repro chaos --retries N` must not
+    # silently drop them (cells stay identical — each point is seeded
+    # independently and runs in-process at workers=1).
     use_tasks = (checkpoint is not None or resume
+                 or policy is not None or sweep_observer is not None
                  or (resolve_workers(workers) > 1 and len(rates) > 1))
     if use_tasks:
         store = observer.series if observer is not None else None

@@ -23,8 +23,11 @@ Two entry points share one engine:
   an optional observer :class:`~repro.obs.Collector`.
 
 Dispatch is ``apply_async`` per trial with a per-trial wall-clock
-deadline (the heartbeat), not one blocking ``Pool.map``: a hung guest or
-a worker the OS killed mid-trial surfaces as a missed deadline, the pool
+deadline (the heartbeat), not one blocking ``Pool.map`` — and at most
+``workers`` trials are in flight at once, so a dispatched trial is
+*executing* and its deadline measures execution time, never time spent
+queued behind the rest of a 10^5-trial campaign.  A hung guest or a
+worker the OS killed mid-trial surfaces as a missed deadline, the pool
 is respawned, every other in-flight trial is re-dispatched without
 charging its retry budget, and only the offending trial pays a retry.
 Pool-*creation* failure (sandboxes without POSIX semaphores) is the only
@@ -283,13 +286,16 @@ def run_supervised(worker: Callable[[T], R], tasks: Iterable[T], *,
         A timeout cannot preempt in-process code, so ``policy.timeout``
         does not apply here — everything else (retries, backoff,
         quarantine, journaling) behaves identically to pool dispatch.
+        Only ``Exception`` is supervised: a KeyboardInterrupt/SystemExit
+        is the *operator* stopping the sweep, not a trial failing, and
+        must propagate instead of burning a retry budget.
         """
         for index in indices:
             while True:
                 started = time.monotonic()
                 try:
                     result = worker(tasks[index])
-                except BaseException as exc:  # noqa: BLE001 - supervised
+                except Exception as exc:  # supervised trial failure
                     if fail(index, "error", repr(exc),
                             traceback.format_exc(limit=16)):
                         delay = policy.backoff_for(attempts[index])
@@ -355,13 +361,19 @@ def run_supervised(worker: Callable[[T], R], tasks: Iterable[T], *,
                     else:
                         still_delayed.append((eligible_at, index))
                 delayed = still_delayed
-            while waiting:
+            # Bounded dispatch: never more than ``count`` trials in
+            # flight, so every dispatched trial holds a pool worker and
+            # its deadline clocks execution, not time spent queued — a
+            # sweep longer than ``policy.timeout`` must not see healthy
+            # queued trials declared hung.
+            while waiting and len(inflight) < count:
                 index = waiting.popleft()
+                dispatched = time.monotonic()
                 handle = pool.apply_async(
                     _run_envelope, ((worker, index, tasks[index]),))
-                deadline = (now + policy.timeout
+                deadline = (dispatched + policy.timeout
                             if policy.timeout is not None else None)
-                inflight[index] = (handle, deadline, time.monotonic())
+                inflight[index] = (handle, deadline, dispatched)
             progressed = False
             pool_lost = False
             for index in list(inflight):
@@ -371,7 +383,7 @@ def run_supervised(worker: Callable[[T], R], tasks: Iterable[T], *,
                     del inflight[index]
                     try:
                         _index, status, payload, detail = handle.get()
-                    except BaseException as exc:  # noqa: BLE001 - pool infra
+                    except Exception as exc:  # pool infra broke mid-result
                         # The result channel itself broke (worker killed
                         # hard enough to poison the pool): supervise it.
                         if fail(index, "error", repr(exc)):
@@ -419,7 +431,9 @@ def run_supervised(worker: Callable[[T], R], tasks: Iterable[T], *,
                                     max(delayed[0][0] - time.monotonic(), 0.0))
                 if sleep_for > 0:
                     time.sleep(sleep_for)
-    except TaskError:
+    except BaseException:
+        # TaskError (strict-mode abort) or the operator's ^C: either way
+        # the workers must not outlive the orchestrator.
         pool.terminate()
         pool.join()
         raise
@@ -466,7 +480,7 @@ def run_tasks(worker: Callable[[T], R], tasks: Iterable[T], *,
         for index, task in enumerate(tasks):
             try:
                 results.append(worker(task))
-            except BaseException as exc:  # noqa: BLE001 - re-raised with context
+            except Exception as exc:  # re-raised with task context
                 raise TaskError(TrialFailure(
                     index=index, kind="error", attempts=1, error=repr(exc),
                     seed=seed_fn(task), task=repr(task)[:200],

@@ -28,6 +28,14 @@ Each trial line is flushed and fsync'd before the next trial dispatches,
 and the loader ignores a truncated trailing line, so a SIGKILL at any
 moment loses at most the trial being journaled.
 
+Trust model: the per-line CRC32 is an *integrity* check (torn writes,
+bit rot), not authentication — anyone who can edit the journal can
+recompute it.  Payloads are therefore decoded with a restricted
+unpickler whose ``find_class`` only resolves classes from the ``repro``
+package (plus a handful of value-type builtins), so resuming from a
+tampered or attacker-supplied ``--resume`` file raises
+``UnpicklingError`` instead of executing arbitrary code.
+
 The ``REPRO_SWEEP_KILL_AFTER=N`` environment knob SIGKILLs the process
 (and its pool workers) right after the N-th trial is journaled — the
 deterministic mid-sweep crash the resume tests and the CI resume smoke
@@ -39,6 +47,7 @@ from __future__ import annotations
 import base64
 import binascii
 import hashlib
+import io
 import json
 import multiprocessing
 import os
@@ -151,11 +160,40 @@ def _encode_payload(result: Any) -> Dict[str, Any]:
     }
 
 
+#: Value-type builtins a trial payload may legitimately reference via
+#: ``find_class`` (containers/scalars with dedicated opcodes never hit it).
+_SAFE_BUILTINS = frozenset({"set", "frozenset", "complex", "bytearray"})
+
+
+class _RestrictedUnpickler(pickle.Unpickler):
+    """Unpickler that only resolves globals from this codebase.
+
+    A journal's CRC proves the line survived a torn write, not that it
+    came from a trusted run — a hostile ``--resume`` file can carry a
+    valid CRC over a malicious pickle.  Refusing every global outside
+    the ``repro`` package (and a short builtins allowlist) turns that
+    from arbitrary code execution into an ``UnpicklingError``.  Dotted
+    names are rejected outright: protocol ≥4 resolves them attribute by
+    attribute, which would reach modules *imported by* repro (e.g.
+    ``repro.core.resume`` + ``os.kill``).
+    """
+
+    def find_class(self, module: str, name: str) -> Any:
+        if "." not in name:
+            if module == "repro" or module.startswith("repro."):
+                return super().find_class(module, name)
+            if module == "builtins" and name in _SAFE_BUILTINS:
+                return super().find_class(module, name)
+        raise pickle.UnpicklingError(
+            f"checkpoint payload references {module}.{name}, outside the "
+            "repro allowlist — refusing to resume from an untrusted journal")
+
+
 def _decode_payload(record: Dict[str, Any]) -> Any:
     blob = base64.b64decode(record["payload"].encode("ascii"))
     if (binascii.crc32(blob) & 0xFFFFFFFF) != record["crc"]:
         raise ValueError(f"trial {record.get('index')}: payload crc mismatch")
-    return pickle.loads(blob)
+    return _RestrictedUnpickler(io.BytesIO(blob)).load()
 
 
 class SweepCheckpoint:
@@ -179,9 +217,14 @@ class SweepCheckpoint:
         self.completed: Dict[int, Any] = {}
         #: Trials journaled by *this* run (the kill-knob counts these).
         self.recorded = 0
+        #: Whether _load saw a valid header — NOT inferable from
+        #: ``completed``: a run killed before its first trial leaves a
+        #: header-only journal, and appending a second header would break
+        #: the "header written once" invariant.
+        self._header_seen = False
         if resume and os.path.exists(path):
             self._load()
-        header_needed = not self.completed
+        header_needed = not self._header_seen
         directory = os.path.dirname(path)
         if directory:
             os.makedirs(directory, exist_ok=True)
@@ -216,6 +259,7 @@ class SweepCheckpoint:
                     f"checkpoint {self.path}: {key} mismatch "
                     f"({header.get(key)!r} != {expected!r}) — the journal "
                     "belongs to a different sweep; remove it or fix the args")
+        self._header_seen = True
         for line in lines[1:]:
             try:
                 record = json.loads(line)

@@ -69,6 +69,11 @@ def _hang_on_seven(value):
     return value + 100
 
 
+def _sleep_briefly(value):
+    time.sleep(0.25)
+    return value + 1000
+
+
 def _die_on_three(value):
     if value == 3:
         os._exit(3)  # a worker the OS reaped: no exception, no result
@@ -173,6 +178,31 @@ class TestQuarantine:
         assert outcome.stats.respawns >= 1
         assert observer.metrics.value("sweep.timeouts") == 1
         assert observer.metrics.value("sweep.respawns") >= 1
+
+    def test_deadline_clocks_execution_not_queue_time(self):
+        # 8 x 0.25s trials over 2 workers is ~1s of sweep wall-clock with
+        # a 0.6s per-trial timeout: if deadlines started at submission
+        # (the whole queue dispatched at once), every queued trial would
+        # be spuriously declared hung.  Bounded in-flight dispatch means
+        # the deadline only ever covers actual execution.
+        policy = RunPolicy(timeout=0.6, retries=0, backoff=0.0,
+                           poll_interval=0.01, on_failure="quarantine")
+        outcome = run_supervised(_sleep_briefly, list(range(8)), workers=2,
+                                 policy=policy)
+        assert outcome.ok
+        assert outcome.results == [v + 1000 for v in range(8)]
+        assert outcome.stats.timeouts == 0
+        assert outcome.stats.respawns == 0
+
+    def test_keyboard_interrupt_is_not_supervised(self):
+        # ^C is the operator stopping the sweep, not a trial failing: it
+        # must propagate instead of being retried and quarantined.
+        def interrupt(value):
+            raise KeyboardInterrupt
+
+        policy = RunPolicy(retries=3, backoff=0.0, on_failure="quarantine")
+        with pytest.raises(KeyboardInterrupt):
+            run_supervised(interrupt, [1, 2, 3], workers=1, policy=policy)
 
     def test_worker_killed_midtrial_is_detected(self):
         # os._exit(3) in the pool child: the task can never complete, so
@@ -285,6 +315,48 @@ class TestCheckpoint:
             journal.record(0, 7)
         assert load_checkpoint_results(path) == {0: 7}
 
+    def test_resume_header_only_journal_writes_header_once(self, tmp_path):
+        # A run killed before its first trial leaves a header-only file;
+        # resuming it must append to the existing header, not a second one.
+        path = str(tmp_path / "sweep.ckpt")
+        digest = grid_hash([1, 2])
+        SweepCheckpoint(path, experiment="unit", grid_hash=digest,
+                        total=2).close()
+        with SweepCheckpoint(path, experiment="unit", grid_hash=digest,
+                             total=2, resume=True) as journal:
+            journal.record(0, 10)
+        lines = Path(path).read_text().splitlines()
+        headers = [line for line in lines if "schema" in json.loads(line)]
+        assert len(lines) == 2  # one header + one trial
+        assert len(headers) == 1
+
+    def test_tampered_payload_cannot_execute_code(self, tmp_path):
+        # The CRC is integrity, not authentication: a hostile journal with
+        # a *valid* CRC over a malicious pickle must fail to unpickle, not
+        # invoke the callable it smuggles in.
+        import base64
+        import binascii
+        import pickle
+
+        from repro.core.resume import _decode_payload
+
+        path = str(tmp_path / "hostile.ckpt")
+        digest = grid_hash([1])
+        with SweepCheckpoint(path, experiment="unit", grid_hash=digest,
+                             total=1) as journal:
+            blob = pickle.dumps(os.system)
+            journal._append({
+                "index": 0,
+                "crc": binascii.crc32(blob) & 0xFFFFFFFF,
+                "payload": base64.b64encode(blob).decode("ascii"),
+            })
+        # The loader skips the hostile line (trial re-executes) ...
+        assert load_checkpoint_results(path) == {}
+        # ... because the restricted unpickler refuses the global.
+        record = json.loads(Path(path).read_text().splitlines()[1])
+        with pytest.raises(pickle.UnpicklingError, match="allowlist"):
+            _decode_payload(record)
+
 
 # -- acceptance: kill mid-sweep, resume, byte-identical artifact --------------
 
@@ -333,6 +405,22 @@ class TestKillAndResume:
 
 
 class TestChaosParity:
+    def test_sequential_sweep_honors_policy_and_health_observer(self):
+        # A plain workers=1 sweep with a supervision policy must still
+        # route through the supervised runner: the CLI's --retries /
+        # --trial-timeout and health counters cannot silently no-op.
+        plain = run_chaos_sweep(rates=[0.0, 0.3], seed=11, queries_per_rate=5,
+                                attack_budget=5, workers=1)
+        sweep_observer = Collector()
+        supervised = run_chaos_sweep(
+            rates=[0.0, 0.3], seed=11, queries_per_rate=5, attack_budget=5,
+            workers=1, policy=RunPolicy(retries=2, on_failure="quarantine"),
+            sweep_observer=sweep_observer)
+        assert supervised.cells == plain.cells
+        assert supervised.health is not None
+        assert supervised.health.executed == 2
+        assert sweep_observer.metrics.value("sweep.quarantined") == 0
+
     def test_checkpointed_parallel_matches_sequential(self, tmp_path):
         plain = run_chaos_sweep(rates=[0.0, 0.3], seed=11, queries_per_rate=5,
                                 attack_budget=5, workers=1)
