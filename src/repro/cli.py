@@ -499,8 +499,13 @@ def cmd_bench(args) -> int:
             handle.write(text + "\n")
         print(f"wrote {args.emit}")
     for entry in payload["benchmarks"]:
-        print(f"BENCH {entry['name']}: {entry['decode_call_ratio']:.1f}x fewer "
-              f"decode() calls, {entry['wall_speedup']:.2f}x wall speedup "
+        if entry["kind"] == "blocks":
+            detail = (f"{entry['block_step_share']:.1%} of steps through "
+                      f"compiled blocks")
+        else:
+            detail = f"{entry['decode_call_ratio']:.1f}x fewer decode() calls"
+        print(f"BENCH {entry['name']}: {detail}, "
+              f"{entry['wall_speedup']:.2f}x wall speedup "
               f"({entry['cached']['steps_per_s']:,.0f} steps/s cached)")
     if args.compare:
         try:
@@ -693,11 +698,11 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.set_defaults(run=cmd_chaos)
 
     bench = subparsers.add_parser(
-        "bench", help="emulator microbenchmark (decode cache on/off)")
+        "bench", help="emulator microbenchmark (decode cache + superblocks)")
     bench.add_argument("--steps", type=int, default=12_000,
                        help="emulated instructions per measurement")
     bench.add_argument("--emit", metavar="PATH",
-                       help="write the repro-bench/v1 JSON baseline to PATH")
+                       help="write the repro-bench/v2 JSON baseline to PATH")
     bench.add_argument("--compare", metavar="PATH",
                        help="regression gate: compare the fresh run against "
                             "the committed baseline at PATH")

@@ -1,20 +1,28 @@
-"""Microbenchmark harness for the emulation core (decode-cache baseline).
+"""Microbenchmark harness for the emulation core.
 
-The benchmark drives each emulator's fetch-decode-execute loop over a tight
-self-branching loop — 9 distinct instructions executed tens of thousands of
-times — once with the decode cache disabled (every step pays a ``decode()``
-call) and once enabled (steady state is all cache hits).  The decode-call
-counts come straight from the cache's own counters, so the headline ratio
-is deterministic; wall-clock numbers are environment-dependent and recorded
-alongside for trend tracking, not asserted in CI.
+Two benchmark families per architecture, both over the same tight
+self-branching loop (9 distinct instructions executed tens of thousands of
+times):
 
-``collect_baseline`` emits the ``repro-bench/v1`` JSON payload committed
+- ``<arch>-tight-loop`` (kind ``decode-cache``) steps the emulator directly,
+  decode cache off vs on — every uncached step pays a ``decode()`` call,
+  steady cached state is all cache hits.  Unchanged from schema v1.
+- ``<arch>-tight-loop-blocks`` (kind ``blocks``) drives the full run loop to
+  budget exhaustion, superblock translation off vs on — the baseline is the
+  decode-cache-only dispatch path, the cached side executes almost every
+  step through compiled blocks (:mod:`repro.cpu.blocks`).
+
+Deterministic quantities (decode-call counts, the fraction of steps executed
+through blocks) come straight from the caches' own counters and are asserted
+hard; wall-clock numbers are environment-dependent and recorded for trend
+tracking, compared only via machine-normalized ratios.
+
+``collect_baseline`` emits the ``repro-bench/v2`` JSON payload committed
 under ``benchmarks/``; ``validate_baseline`` is the CI smoke check, and
 ``compare_baseline`` is the regression gate: a fresh payload is compared
 against the committed one with noise-tolerant thresholds (deterministic
-decode-call quantities are asserted hard; throughput is compared via the
-machine-normalized cached/uncached ratio so a slower CI runner cannot
-fake a regression).  Every gated run appends one line to the
+quantities exactly; throughput via the cached/uncached ratio so a slower CI
+runner cannot fake a regression).  Every gated run appends one line to the
 ``benchmarks/trajectory.jsonl`` perf history.
 """
 
@@ -31,7 +39,9 @@ from ..cpu.arm.asm import add_imm, b as arm_b
 from ..mem import AddressSpace, Perm, Segment
 from ..obs.metrics import Histogram
 
-BENCH_SCHEMA = "repro-bench/v1"
+#: v2 added the superblock dispatch benchmarks and the per-entry ``kind``
+#: discriminator; v1 payloads no longer validate.
+BENCH_SCHEMA = "repro-bench/v2"
 
 #: Step-latency histogram bounds, in microseconds.
 STEP_US_BUCKETS = (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 500.0)
@@ -41,6 +51,12 @@ _CODE_BASE = 0x0804_8000
 #: The committed-baseline acceptance floor: caching must cut decode() calls
 #: by at least this factor on the tight loop.
 MIN_DECODE_CALL_RATIO = 3.0
+
+#: Acceptance floor for block dispatch: with blocks on, at least this
+#: fraction of the run's steps must execute through compiled blocks.  The
+#: tight loop's true share is steps-dependent but ~0.999 (only the final
+#: sub-block budget remainder single-steps), far above the floor.
+MIN_BLOCK_STEP_SHARE = 0.9
 
 
 def _loop_code(arch: str) -> bytes:
@@ -106,20 +122,66 @@ def run_microbench(arch: str = "x86", steps: int = 12_000, *,
     }
 
 
+def run_dispatch_bench(arch: str = "x86", steps: int = 12_000, *,
+                       blocks_enabled: bool = True) -> Dict[str, object]:
+    """Run the full run loop to budget exhaustion; report dispatch counters.
+
+    Unlike :func:`run_microbench` this goes through ``Emulator.run`` — the
+    path every experiment takes — so superblock dispatch engages.  The
+    decode cache stays on in both variants: with blocks off this measures
+    the decode-cache-only dispatch baseline the block layer is built over.
+    """
+    emulator = _build_loop_emulator(arch)
+    process = emulator.process
+    blocks = process.block_cache
+    blocks.enabled = blocks_enabled
+    cache = process.decode_cache
+    started = perf_counter()
+    result = emulator.run(max_steps=steps)
+    wall_s = max(perf_counter() - started, 1e-9)
+    return {
+        "arch": arch,
+        "steps": result.steps,
+        "outcome": result.reason,
+        "blocks_enabled": blocks_enabled,
+        "decode_calls": cache.misses,
+        "cache_hits": cache.hits,
+        "block_steps": blocks.steps,
+        "block_execs": blocks.hits,
+        "block_builds": blocks.builds,
+        "wall_s": wall_s,
+        "steps_per_s": result.steps / wall_s,
+    }
+
+
 def collect_baseline(steps: int = 12_000,
                      arches: Sequence[str] = ("x86", "arm")) -> Dict[str, object]:
-    """Uncached-vs-cached comparison for each arch (the BENCH payload)."""
+    """Off-vs-on comparison per arch and cache layer (the BENCH payload)."""
     benchmarks = []
     for arch in arches:
         baseline = run_microbench(arch, steps, cache_enabled=False)
         cached = run_microbench(arch, steps, cache_enabled=True)
         benchmarks.append({
             "name": f"{arch}-tight-loop",
+            "kind": "decode-cache",
             "arch": arch,
             "steps": steps,
             "baseline": baseline,
             "cached": cached,
             "decode_call_ratio": baseline["decode_calls"] / max(cached["decode_calls"], 1),
+            "wall_speedup": baseline["wall_s"] / cached["wall_s"],
+        })
+    for arch in arches:
+        baseline = run_dispatch_bench(arch, steps, blocks_enabled=False)
+        cached = run_dispatch_bench(arch, steps, blocks_enabled=True)
+        benchmarks.append({
+            "name": f"{arch}-tight-loop-blocks",
+            "kind": "blocks",
+            "arch": arch,
+            "steps": steps,
+            "baseline": baseline,
+            "cached": cached,
+            "block_step_share": cached["block_steps"] / steps,
             "wall_speedup": baseline["wall_s"] / cached["wall_s"],
         })
     return {"schema": BENCH_SCHEMA, "steps": steps, "benchmarks": benchmarks}
@@ -128,9 +190,10 @@ def collect_baseline(steps: int = 12_000,
 def validate_baseline(payload: Dict[str, object]) -> Dict[str, object]:
     """Structural + invariant checks for a BENCH payload; raises ValueError.
 
-    Only deterministic quantities are asserted hard (decode-call counts and
-    their ratio); wall-clock fields just have to be present and positive,
-    so the check never flakes on a loaded CI runner.
+    Only deterministic quantities are asserted hard (decode-call counts,
+    their ratio, and the block-dispatch step share); wall-clock fields just
+    have to be present and positive, so the check never flakes on a loaded
+    CI runner.
     """
     if not isinstance(payload, dict) or payload.get("schema") != BENCH_SCHEMA:
         raise ValueError(f"bench payload schema must be {BENCH_SCHEMA!r}")
@@ -139,8 +202,12 @@ def validate_baseline(payload: Dict[str, object]) -> Dict[str, object]:
         raise ValueError("bench payload has no benchmarks")
     for entry in benchmarks:
         name = entry.get("name", "<unnamed>")
-        for key in ("arch", "steps", "baseline", "cached",
-                    "decode_call_ratio", "wall_speedup"):
+        kind = entry.get("kind")
+        if kind not in ("decode-cache", "blocks"):
+            raise ValueError(f"{name}: unknown benchmark kind {kind!r}")
+        keys = ("arch", "steps", "baseline", "cached", "wall_speedup",
+                "decode_call_ratio" if kind == "decode-cache" else "block_step_share")
+        for key in keys:
             if key not in entry:
                 raise ValueError(f"{name}: missing {key!r}")
         for side in ("baseline", "cached"):
@@ -150,16 +217,31 @@ def validate_baseline(payload: Dict[str, object]) -> Dict[str, object]:
                     raise ValueError(f"{name}.{side}: missing {key!r}")
             if run["wall_s"] <= 0 or run["steps_per_s"] <= 0:
                 raise ValueError(f"{name}.{side}: non-positive wall fields")
-        if entry["baseline"]["decode_calls"] != entry["baseline"]["steps"]:
-            raise ValueError(
-                f"{name}: uncached run must decode every step "
-                f"({entry['baseline']['decode_calls']} != {entry['baseline']['steps']})"
-            )
-        if entry["decode_call_ratio"] < MIN_DECODE_CALL_RATIO:
-            raise ValueError(
-                f"{name}: decode_call_ratio {entry['decode_call_ratio']:.2f} "
-                f"below the {MIN_DECODE_CALL_RATIO}x acceptance floor"
-            )
+        if kind == "decode-cache":
+            if entry["baseline"]["decode_calls"] != entry["baseline"]["steps"]:
+                raise ValueError(
+                    f"{name}: uncached run must decode every step "
+                    f"({entry['baseline']['decode_calls']} != {entry['baseline']['steps']})"
+                )
+            if entry["decode_call_ratio"] < MIN_DECODE_CALL_RATIO:
+                raise ValueError(
+                    f"{name}: decode_call_ratio {entry['decode_call_ratio']:.2f} "
+                    f"below the {MIN_DECODE_CALL_RATIO}x acceptance floor"
+                )
+        else:
+            if entry["baseline"].get("block_steps", 0) != 0:
+                raise ValueError(
+                    f"{name}: blocks-off baseline executed "
+                    f"{entry['baseline']['block_steps']} steps through blocks")
+            for side in ("baseline", "cached"):
+                if entry[side]["steps"] != entry["steps"]:
+                    raise ValueError(
+                        f"{name}.{side}: run must exhaust its step budget "
+                        f"({entry[side]['steps']} != {entry['steps']})")
+            if entry["block_step_share"] < MIN_BLOCK_STEP_SHARE:
+                raise ValueError(
+                    f"{name}: block_step_share {entry['block_step_share']:.3f} "
+                    f"below the {MIN_BLOCK_STEP_SHARE} acceptance floor")
     return payload
 
 
@@ -171,6 +253,12 @@ TRAJECTORY_SCHEMA = "repro-bench-trajectory/v1"
 #: Cached throughput may lose at most this fraction (machine-normalized)
 #: before the gate trips — wall-clock noise tolerance, not a free pass.
 MAX_CACHED_DROP = 0.25
+
+#: Block-dispatch coverage may drop at most this much between payloads.
+#: The share is steps-dependent only through the final budget remainder
+#: (< one block), so even the CI smoke at --steps 3000 sits within half a
+#: percent of the committed 12000-step share.
+MAX_BLOCK_SHARE_DROP = 0.005
 
 
 def _speedup(entry: Dict[str, object]) -> float:
@@ -188,14 +276,20 @@ def compare_baseline(old: Dict[str, object], new: Dict[str, object], *,
                      max_drop: float = MAX_CACHED_DROP) -> Dict[str, object]:
     """Regression verdict for ``new`` measured against baseline ``old``.
 
-    Three checks per benchmark, deterministic ones asserted exactly:
+    Per-benchmark checks, deterministic ones asserted exactly:
 
     - the benchmark must still exist (a silently dropped benchmark is a
       regression, not a cleanup);
-    - the decode-call floor must not regress: steady-state ``decode_calls``
-      with the cache enabled may not exceed the baseline's;
-    - normalized cached throughput (cached/uncached ``steps_per_s`` ratio)
-      may not drop more than ``max_drop`` below the baseline's ratio.
+    - ``decode-cache`` entries: the decode-call floor must not regress —
+      steady-state ``decode_calls`` with the cache enabled may not exceed
+      the baseline's;
+    - ``blocks`` entries: the block-dispatch floor must not regress — the
+      fraction of steps executed through compiled blocks may not drop more
+      than :data:`MAX_BLOCK_SHARE_DROP` below the baseline's (both shares
+      are steps-independent up to the final budget remainder);
+    - all entries: normalized cached throughput (cached/uncached
+      ``steps_per_s`` ratio) may not drop more than ``max_drop`` below the
+      baseline's ratio.
 
     Returns a report dict (never raises on a regression — the caller
     decides the exit code); raises ``ValueError`` only when either
@@ -214,13 +308,25 @@ def compare_baseline(old: Dict[str, object], new: Dict[str, object], *,
                 "ok": False, "detail": "benchmark missing from fresh payload",
             })
             continue
-        old_calls = entry["cached"]["decode_calls"]
-        new_calls = fresh["cached"]["decode_calls"]
-        checks.append({
-            "name": name, "check": "decode_call_floor",
-            "old": old_calls, "new": new_calls, "ok": new_calls <= old_calls,
-            "detail": f"cached decode() calls {old_calls} -> {new_calls}",
-        })
+        if entry["kind"] == "decode-cache":
+            old_calls = entry["cached"]["decode_calls"]
+            new_calls = fresh["cached"]["decode_calls"]
+            checks.append({
+                "name": name, "check": "decode_call_floor",
+                "old": old_calls, "new": new_calls, "ok": new_calls <= old_calls,
+                "detail": f"cached decode() calls {old_calls} -> {new_calls}",
+            })
+        else:
+            old_share = entry["block_step_share"]
+            new_share = fresh["block_step_share"]
+            share_floor = old_share - MAX_BLOCK_SHARE_DROP
+            checks.append({
+                "name": name, "check": "block_dispatch_floor",
+                "old": round(old_share, 5), "new": round(new_share, 5),
+                "ok": new_share >= share_floor,
+                "detail": (f"block step share {old_share:.4f} -> "
+                           f"{new_share:.4f} (floor {share_floor:.4f})"),
+            })
         old_speedup = _speedup(entry)
         new_speedup = _speedup(fresh)
         floor = (1.0 - max_drop) * old_speedup
@@ -261,17 +367,24 @@ def trajectory_entry(payload: Dict[str, object],
         "when": when or datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "steps": payload["steps"],
         "compare_ok": compare_ok,
-        "benchmarks": [
-            {
-                "name": entry["name"],
-                "cached_steps_per_s": round(entry["cached"]["steps_per_s"], 1),
-                "baseline_steps_per_s": round(entry["baseline"]["steps_per_s"], 1),
-                "decode_call_ratio": round(entry["decode_call_ratio"], 2),
-                "wall_speedup": round(entry["wall_speedup"], 3),
-            }
-            for entry in payload["benchmarks"]
-        ],
+        "benchmarks": [_trajectory_benchmark(entry)
+                       for entry in payload["benchmarks"]],
     }
+
+
+def _trajectory_benchmark(entry: Dict[str, object]) -> Dict[str, object]:
+    compact = {
+        "name": entry["name"],
+        "kind": entry.get("kind", "decode-cache"),
+        "cached_steps_per_s": round(entry["cached"]["steps_per_s"], 1),
+        "baseline_steps_per_s": round(entry["baseline"]["steps_per_s"], 1),
+        "wall_speedup": round(entry["wall_speedup"], 3),
+    }
+    if "decode_call_ratio" in entry:
+        compact["decode_call_ratio"] = round(entry["decode_call_ratio"], 2)
+    if "block_step_share" in entry:
+        compact["block_step_share"] = round(entry["block_step_share"], 5)
+    return compact
 
 
 def append_trajectory(path: str, entry: Dict[str, object]) -> None:

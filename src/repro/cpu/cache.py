@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
-from ..mem.space import PAGE_SHIFT, AddressSpace
+from ..mem.space import AddressSpace
 from .isa import Instruction
 
 #: (instruction, mapping epoch, ((page, generation), ...)).
@@ -36,7 +36,8 @@ class DecodeCache:
     #: changes no experiment outcome.
     enabled_by_default = True
 
-    __slots__ = ("memory", "enabled", "hits", "misses", "invalidations", "_entries")
+    __slots__ = ("memory", "enabled", "hits", "misses", "invalidations",
+                 "epoch_flushes", "_entries")
 
     def __init__(self, memory: AddressSpace, *, enabled: Optional[bool] = None):
         self.memory = memory
@@ -46,8 +47,13 @@ class DecodeCache:
         #: Decoder invocations — every ``record_decode`` call, so with the
         #: cache disabled ``misses`` still counts decode() calls.
         self.misses = 0
-        #: Entries dropped by epoch or page-generation mismatch.
+        #: Entries dropped individually by a page-generation mismatch — a
+        #: write landed on a page the cached bytes span.  Epoch flushes are
+        #: counted separately: a whole-cache drop re-validates nothing
+        #: per-entry, and bench analysis reads the two signals apart.
         self.invalidations = 0
+        #: Whole-cache flushes caused by a ``mapping_epoch`` change.
+        self.epoch_flushes = 0
         self._entries: Dict[int, _Entry] = {}
 
     def lookup(self, address: int) -> Optional[Instruction]:
@@ -61,8 +67,8 @@ class DecodeCache:
         memory = self.memory
         if epoch != memory.mapping_epoch:
             # The mapping table changed under us: everything is suspect.
-            self.invalidations += len(self._entries)
             self._entries.clear()
+            self.epoch_flushes += 1
             return None
         for page, generation in page_gens:
             if memory.page_generation(page) != generation:
@@ -78,12 +84,10 @@ class DecodeCache:
         if not self.enabled:
             return
         memory = self.memory
-        first = insn.address >> PAGE_SHIFT
-        last = (insn.end - 1) >> PAGE_SHIFT
         self._entries[insn.address] = (
             insn,
             memory.mapping_epoch,
-            tuple((page, memory.page_generation(page)) for page in range(first, last + 1)),
+            memory.page_generation_span(insn.address, insn.size),
         )
 
     def clear(self) -> None:

@@ -129,8 +129,16 @@ class Emulator:
         process = self.process
         trace = getattr(process, "trace", None)
         cache = process.decode_cache
-        hits_before, misses_before = cache.hits, cache.misses
+        blocks = process.block_cache
+        cache_before = (cache.hits, cache.misses, cache.invalidations,
+                        cache.epoch_flushes)
+        blocks_before = (blocks.hits, blocks.misses, blocks.invalidations,
+                         blocks.epoch_flushes)
         timer = self.step_timer
+        # Block dispatch is outcome-identical but not *observation*-identical
+        # at instruction granularity, so tracing and per-step timing force
+        # the per-instruction path: traces and step histograms stay exact.
+        use_blocks = blocks.enabled and trace is None and timer is None
         steps = 0
         try:
             while steps < max_steps:
@@ -138,16 +146,37 @@ class Emulator:
                 if native is not None:
                     if trace is not None:
                         trace.record(process.pc, "native", f"{native.name}(...)")
-                    native.invoke(process)
-                else:
-                    if trace is not None:
-                        trace.record(process.pc, "insn", self._peek_text(process.pc))
                     if timer is not None:
                         started = perf_counter()
-                        self.step()
+                        native.invoke(process)
                         timer.observe((perf_counter() - started) * 1e6)
                     else:
-                        self.step()
+                        native.invoke(process)
+                    steps += 1
+                    continue
+                if use_blocks:
+                    block = blocks.fetch(self, process.pc)
+                    if block is not None and steps + block.length <= max_steps:
+                        # A whole block fits in the remaining budget; one
+                        # that doesn't falls through to single stepping so
+                        # EmulationBudgetExceeded fires at exactly max_steps.
+                        try:
+                            executed = block.execute(process)
+                        except BaseException:
+                            steps += block.executed
+                            blocks.steps += block.executed
+                            raise
+                        steps += executed
+                        blocks.steps += executed
+                        continue
+                if trace is not None:
+                    trace.record(process.pc, "insn", self._peek_text(process.pc))
+                if timer is not None:
+                    started = perf_counter()
+                    self.step()
+                    timer.observe((perf_counter() - started) * 1e6)
+                else:
+                    self.step()
                 steps += 1
             raise EmulationBudgetExceeded(max_steps)
         except _EmulationStop as stop:
@@ -158,8 +187,21 @@ class Emulator:
         finally:
             observer = process.observer
             if observer is not None:
-                observer.inc("decode_cache_hits", cache.hits - hits_before)
-                observer.inc("decode_cache_misses", cache.misses - misses_before)
+                observer.inc("decode_cache_hits", cache.hits - cache_before[0])
+                observer.inc("decode_cache_misses", cache.misses - cache_before[1])
+                observer.inc("decode_cache_invalidations",
+                             cache.invalidations - cache_before[2])
+                observer.inc("decode_cache_epoch_flushes",
+                             cache.epoch_flushes - cache_before[3])
+                observer.inc("block_cache_hits", blocks.hits - blocks_before[0])
+                observer.inc("block_cache_misses", blocks.misses - blocks_before[1])
+                observer.inc("block_cache_invalidations",
+                             blocks.invalidations - blocks_before[2])
+                observer.inc("block_cache_epoch_flushes",
+                             blocks.epoch_flushes - blocks_before[3])
+                for length in blocks.built_lengths:
+                    observer.observe("block.length", length)
+                blocks.built_lengths.clear()
 
 
 def make_emulator(process: Process) -> Emulator:

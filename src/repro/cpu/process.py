@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..mem import AddressSpace
+from .blocks import BlockCache
 from .cache import DecodeCache
 from .isa import check_arch
 from .registers import RegisterFile, make_registers, pc_register, sp_register
@@ -69,6 +70,13 @@ class Process:
         #: Decoded-instruction cache shared by every emulator run over this
         #: process (write-invalidated; see :mod:`repro.cpu.cache`).
         self.decode_cache = DecodeCache(memory)
+        #: Bumped on every ``register_native`` — compiled superblocks are
+        #: keyed on it so a native handler registered mid-run is never
+        #: skipped by an already-compiled straight line.
+        self.native_version = 0
+        #: Compiled-superblock cache layered over the decode cache
+        #: (see :mod:`repro.cpu.blocks`).
+        self.block_cache = BlockCache(self)
         #: Optional obs Collector — the process's trace context.  The
         #: emulator flushes decode-cache counters into it, nests each run
         #: under a ``cpu.run`` span on its tracer, and captures crash
@@ -135,6 +143,7 @@ class Process:
 
     def register_native(self, address: int, function: "NativeFunctionType") -> None:
         self.native[address] = function
+        self.native_version += 1
 
     def native_at(self, address: int) -> Optional["NativeFunctionType"]:
         return self.native.get(address & 0xFFFFFFFF)

@@ -33,6 +33,18 @@ class RegisterFile:
             raise KeyError(f"unknown register {name!r}")
         return name
 
+    @property
+    def values(self) -> Dict[str, int]:
+        """The raw canonical-name → value mapping (live, not a copy).
+
+        The superblock compiler (:mod:`repro.cpu.blocks`) executes against
+        this dict directly: both decoders emit only canonical names, and
+        compiled ops pre-mask every stored value, so the alias resolution
+        and masking in :meth:`set` would be pure overhead on that path.
+        Mutators must store 32-bit-masked values under canonical names.
+        """
+        return self._values
+
     def get(self, name: str) -> int:
         return self._values[self._canonical(name)]
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import struct
 from bisect import bisect_right
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from .errors import UnmappedAddressError
 from .perms import Perm
@@ -144,6 +144,20 @@ class AddressSpace:
     def page_generation(self, page: int) -> int:
         """Write generation of one page (``address >> PAGE_SHIFT``)."""
         return self._page_gens.get(page, 0)
+
+    def page_generation_span(self, address: int, length: int) -> Tuple[Tuple[int, int], ...]:
+        """Snapshot ``(page, generation)`` for every page a byte range spans.
+
+        The validation stamp used by the decode and block caches: cheap
+        (one dict probe per page, no segment resolution) and taken over the
+        exact bytes a cached decode was derived from.
+        """
+        if length <= 0:
+            length = 1
+        page_gens = self._page_gens
+        first = address >> PAGE_SHIFT
+        last = (address + length - 1) >> PAGE_SHIFT
+        return tuple((page, page_gens.get(page, 0)) for page in range(first, last + 1))
 
     def _note_write(self, address: int, length: int) -> None:
         """Bump the write generation of every page the write touched."""

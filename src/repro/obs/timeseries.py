@@ -37,7 +37,7 @@ bit-for-bit (the parity test pins this).
 from __future__ import annotations
 
 import json
-from bisect import bisect_right
+from bisect import bisect_left, bisect_right
 from typing import Any, Dict, List, Optional, Tuple
 
 from .metrics import MetricsRegistry, estimate_percentile
@@ -95,6 +95,16 @@ class TimeSeries:
     def at_or_before(self, when: float) -> Optional[Any]:
         """Value of the most recent sample taken at or before ``when``."""
         index = bisect_right(self.times, when) - 1
+        return self.values[index] if index >= 0 else None
+
+    def before(self, when: float) -> Optional[Any]:
+        """Value of the most recent sample taken strictly before ``when``.
+
+        The subtraction baseline for closed-interval window queries: a
+        sample lying exactly on the window's left edge belongs *inside*
+        the window, so the baseline has to be the sample before it.
+        """
+        index = bisect_left(self.times, when) - 1
         return self.values[index] if index >= 0 else None
 
     def value_at_exact(self, when: float) -> Optional[Any]:
@@ -211,7 +221,13 @@ class TimeSeriesStore:
 
     def delta(self, name: str, window: float,
               at: Optional[float] = None) -> Optional[float]:
-        """Counter increase over ``[at - window, at]`` (0 before birth)."""
+        """Counter increase over the closed window ``[at - window, at]``.
+
+        The subtracted baseline is the last sample *strictly before*
+        ``at - window`` (0 before the counter's birth), so an increase
+        sampled exactly at the window's left edge counts as inside it —
+        matching the closed interval the signature promises.
+        """
         series = self.series.get(name)
         if series is None or not series.times or series.kind != "counter":
             return None
@@ -219,7 +235,7 @@ class TimeSeriesStore:
         end = series.at_or_before(when)
         if end is None:
             return None
-        start = series.at_or_before(when - window)
+        start = series.before(when - window)
         return end - (start if start is not None else 0)
 
     def rate(self, name: str, window: float,

@@ -107,13 +107,29 @@ class TestTimeSeriesStore:
     def test_windowed_delta_and_rate(self):
         collector = observed_collector()
         store = collector.series
-        # errors: one per second from t>=7 samples onward.
-        assert store.delta("errors", 3.0, at=10.0) == 3
-        assert store.rate("errors", 3.0, at=10.0) == pytest.approx(1.0)
+        # errors: one per second from t>=7 samples onward; the window
+        # [7, 10] is closed, so the increase sampled exactly at t=7
+        # (against the t=6 baseline) is inside it: 4 total.
+        assert store.delta("errors", 3.0, at=10.0) == 4
+        assert store.rate("errors", 3.0, at=10.0) == pytest.approx(4.0 / 3.0)
         # Before the counter was born there is no data at all.
         assert store.delta("errors", 2.0, at=3.0) is None
         with pytest.raises(ValueError, match="window"):
             store.rate("errors", 0.0)
+
+    def test_delta_includes_increase_sampled_on_window_left_edge(self):
+        # Regression: a sample lying exactly at ``at - window`` used to be
+        # taken as the subtracted baseline, silently excluding an increase
+        # recorded at that instant from the promised closed interval.
+        store = TimeSeriesStore(interval=1.0)
+        series = store.series["hits"] = TimeSeries("hits", "counter")
+        series.record(4.0, 4)
+        series.record(5.0, 10)   # +6 lands exactly on the left edge below
+        series.record(10.0, 12)
+        assert store.delta("hits", 5.0, at=10.0) == 8   # was 2 pre-fix
+        assert store.rate("hits", 5.0, at=10.0) == pytest.approx(8.0 / 5.0)
+        # Window reaching past the first sample still baselines at zero.
+        assert store.delta("hits", 20.0, at=10.0) == 12
 
     def test_windowed_percentile_uses_delta_buckets(self):
         collector = observed_collector()
@@ -341,14 +357,32 @@ class TestBenchGate:
         entry = trajectory_entry(payload, True, when="2026-01-01T00:00:00+00:00")
         assert entry["schema"] == "repro-bench-trajectory/v1"
         assert entry["compare_ok"] is True
-        assert {b["name"] for b in entry["benchmarks"]} == \
-               {"x86-tight-loop", "arm-tight-loop"}
+        assert {b["name"] for b in entry["benchmarks"]} == {
+            "x86-tight-loop", "arm-tight-loop",
+            "x86-tight-loop-blocks", "arm-tight-loop-blocks"}
+        by_name = {b["name"]: b for b in entry["benchmarks"]}
+        assert "decode_call_ratio" in by_name["x86-tight-loop"]
+        assert "block_step_share" in by_name["x86-tight-loop-blocks"]
+
+    def test_block_dispatch_floor_regression_fails(self):
+        old = collect_baseline(steps=1200)
+        new = json.loads(json.dumps(old))
+        for entry in new["benchmarks"]:
+            if entry["kind"] == "blocks":
+                entry["block_step_share"] -= 0.01  # past the 0.005 tolerance
+        result = compare_baseline(old, new)
+        assert not result["ok"]
+        assert any(c["check"] == "block_dispatch_floor" and not c["ok"]
+                   for c in result["checks"])
 
     def test_bench_cli_gate_pass_and_fail(self, tmp_path, capsys):
         baseline = tmp_path / "BENCH.json"
         trajectory = tmp_path / "trajectory.jsonl"
-        baseline.write_text(json.dumps(collect_baseline(steps=1200)))
-        assert main(["bench", "--steps", "1200",
+        # 6000 steps, not the cheaper 1200 the pure-shape tests use: the
+        # gate compares measured throughput ratios, and sub-millisecond
+        # runs make those ratios noise-dominated.
+        baseline.write_text(json.dumps(collect_baseline(steps=6000)))
+        assert main(["bench", "--steps", "6000",
                      "--compare", str(baseline),
                      "--trajectory", str(trajectory)]) == 0
         assert "GATE verdict: pass" in capsys.readouterr().out
@@ -361,7 +395,7 @@ class TestBenchGate:
         for entry in degraded["benchmarks"]:
             entry["cached"]["steps_per_s"] *= 100.0
         baseline.write_text(json.dumps(degraded))
-        assert main(["bench", "--steps", "1200",
+        assert main(["bench", "--steps", "6000",
                      "--compare", str(baseline),
                      "--trajectory", str(trajectory)]) == 1
         captured = capsys.readouterr()

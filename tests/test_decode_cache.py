@@ -168,6 +168,96 @@ class TestDecodeCacheSemantics:
         assert len(process.decode_cache) == 0
 
 
+class TestCrossPageEntries:
+    """Entries whose bytes straddle a page boundary track every page."""
+
+    def test_second_page_write_invalidates_cross_page_entry(self):
+        # mov eax, imm32 at 0x1FFE: opcode on page 1, the immediate's last
+        # three bytes on page 2.  A write that touches only the second page
+        # must still drop the cached decode.
+        process = x86_process(
+            [Segment("rwx", 0x1000, 0x2000, Perm.RWX)],
+            code_at={0x1FFE: b"\xb8\x44\x33\x22\x11"},
+        )
+        process.pc = 0x1FFE
+        emulator = X86Emulator(process)
+        emulator.step()
+        assert process.registers["eax"] == 0x11223344
+        process.memory.write(0x2001, b"\x55")  # the 0x22 immediate byte
+        process.pc = 0x1FFE
+        emulator.step()
+        assert process.registers["eax"] == 0x11553344
+        assert process.decode_cache.invalidations >= 1
+
+    def test_first_page_write_also_invalidates_cross_page_entry(self):
+        process = x86_process(
+            [Segment("rwx", 0x1000, 0x2000, Perm.RWX)],
+            code_at={0x1FFE: b"\xb8\x44\x33\x22\x11"},
+        )
+        process.pc = 0x1FFE
+        emulator = X86Emulator(process)
+        emulator.step()
+        process.memory.write(0x1FFF, b"\x99")  # low immediate byte, page 1
+        process.pc = 0x1FFE
+        emulator.step()
+        assert process.registers["eax"] == 0x11223399
+
+
+class TestInvalidationAccounting:
+    """Epoch flushes and per-entry drops are distinct events and counters."""
+
+    def test_self_modify_counts_invalidation_not_epoch_flush(self):
+        process = x86_process(
+            [Segment("rwx", 0x1000, 0x100, Perm.RWX)],
+            code_at={0x1000: b"\x40"},
+        )
+        process.pc = 0x1000
+        emulator = X86Emulator(process)
+        emulator.step()
+        process.memory.write(0x1000, b"\x41")
+        process.pc = 0x1000
+        emulator.step()
+        cache = process.decode_cache
+        assert cache.invalidations == 1
+        assert cache.epoch_flushes == 0
+
+    def test_remap_counts_epoch_flush_not_invalidation(self):
+        process = x86_process(
+            [Segment("old", 0x1000, 0x100, Perm.RX)],
+            code_at={0x1000: b"\x40"},
+        )
+        process.pc = 0x1000
+        emulator = X86Emulator(process)
+        emulator.step()
+        space = process.memory
+        space.unmap("old")
+        space.map(Segment("new", 0x1000, 0x100, Perm.RX))
+        space.write(0x1000, b"\x41", check=False)
+        process.pc = 0x1000
+        emulator.step()
+        cache = process.decode_cache
+        assert cache.epoch_flushes == 1
+        assert cache.invalidations == 0
+
+    def test_repeated_unmap_remap_never_serves_stale_decodes(self):
+        # Three map/write/execute/unmap rounds at the same base: each round
+        # must execute its own fresh bytes, never a prior round's decode.
+        targets = ("eax", "ecx", "edx")
+        opcodes = (b"\x40", b"\x41", b"\x42")
+        process = x86_process([Segment("seed", 0x2000, 0x100, Perm.RX)])
+        emulator = X86Emulator(process)
+        for round_index, (target, opcode) in enumerate(zip(targets, opcodes)):
+            name = f"round{round_index}"
+            process.memory.map(Segment(name, 0x1000, 0x100, Perm.RX))
+            process.memory.write(0x1000, opcode, check=False)
+            process.pc = 0x1000
+            emulator.step()
+            process.memory.unmap(name)
+        for target in targets:
+            assert process.registers[target] == 1, target
+        assert process.decode_cache.epoch_flushes >= 2
+
+
 class TestUnmapSemantics:
     def test_unmap_ambiguous_duplicate_name_raises(self):
         space = AddressSpace()

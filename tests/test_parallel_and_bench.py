@@ -162,17 +162,36 @@ class TestMetricsMerge:
 class TestBench:
     def test_collect_baseline_validates_and_beats_ratio_floor(self):
         payload = validate_baseline(collect_baseline(steps=1200))
-        for entry in payload["benchmarks"]:
+        decode_entries = [e for e in payload["benchmarks"]
+                          if e["kind"] == "decode-cache"]
+        block_entries = [e for e in payload["benchmarks"] if e["kind"] == "blocks"]
+        assert len(decode_entries) == 2 and len(block_entries) == 2
+        for entry in decode_entries:
             assert entry["decode_call_ratio"] >= 3.0
             assert entry["baseline"]["decode_calls"] == 1200
             assert entry["cached"]["decode_calls"] < 1200 / 3
+        for entry in block_entries:
+            # 9-insn loop: all but the final budget remainder runs in blocks.
+            # (The remainder single-steps and may build small tail blocks it
+            # never executes, so builds is small but not exactly 1.)
+            assert entry["block_step_share"] >= 0.99
+            assert entry["baseline"]["block_steps"] == 0
+            assert 1 <= entry["cached"]["block_builds"] <= 4
+            assert entry["cached"]["steps"] == 1200
 
     def test_committed_baseline_validates(self):
         assert BENCH_PATH.exists(), "benchmarks/BENCH.json must be committed"
         payload = validate_baseline(json.loads(BENCH_PATH.read_text()))
         assert {entry["arch"] for entry in payload["benchmarks"]} == {"x86", "arm"}
+        assert {entry["kind"] for entry in payload["benchmarks"]} == \
+            {"decode-cache", "blocks"}
         for entry in payload["benchmarks"]:
             assert entry["wall_speedup"] > 1.0
+        for entry in payload["benchmarks"]:
+            # The committed payload must carry the superblock headline: at
+            # least 1.5x over the decode-cache-only dispatch baseline.
+            if entry["kind"] == "blocks":
+                assert entry["wall_speedup"] >= 1.5
 
     def test_validate_rejects_wrong_schema(self):
         with pytest.raises(ValueError, match="schema"):
