@@ -4,6 +4,10 @@
 
     python -m repro matrix                 # the six-attack table
     python -m repro experiments --only E1,E5
+    python -m repro experiments --list     # the experiment registry
+    python -m repro run E15 --checkpoint /tmp/e15.ckpt --results e15.jsonl
+    python -m repro run E14 --grid trials=4,8 --workers 2 --results e14.jsonl
+    python -m repro report --results e15.jsonl   # render from the artifact
     python -m repro dos --arch arm
     python -m repro pineapple
     python -m repro audit
@@ -41,25 +45,13 @@ from .dns import SimpleDnsServer
 from .core import (
     AttackScenario,
     attacker_knowledge,
-    e1_dos,
-    e2_code_injection,
-    e3_wx_bypass,
-    e4_aslr_bypass,
     e5_pineapple,
     e6_firmware_survey,
-    e7_mitigations,
-    e8_adaptation,
-    e10_bruteforce,
-    e11_offpath,
-    e12_fleet,
-    e13_botnet,
-    e14_reliability,
-    e15_entropy_sweep,
-    e16_chaos,
     render_table,
     run_chaos_sweep,
     run_paper_matrix,
 )
+from .core.registry import all_experiments
 from .exploit import (
     AslrBruteForcer,
     AutoExploiter,
@@ -75,39 +67,73 @@ LEVELS: Dict[str, ProtectionProfile] = {
     "wx+aslr": WX_ASLR,
 }
 
+#: Compatibility view of the experiment registry (id -> runner).  The
+#: registry in :mod:`repro.core.registry` is the source of truth; this
+#: dict exists because examples and tests address experiments by id.
 EXPERIMENTS: Dict[str, Callable] = {
-    "E1": e1_dos,
-    "E2": e2_code_injection,
-    "E3": e3_wx_bypass,
-    "E4": e4_aslr_bypass,
-    "E5": e5_pineapple,
-    "E6": e6_firmware_survey,
-    "E7": e7_mitigations,
-    "E8": e8_adaptation,
-    "E10": e10_bruteforce,
-    "E11": e11_offpath,
-    "E12": e12_fleet,
-    "E13": e13_botnet,
-    "E14": e14_reliability,
-    "E15": e15_entropy_sweep,
-    "E16": e16_chaos,
+    spec.id: spec.runner for spec in all_experiments()
 }
 
 
+def _render_artifact_tables(document) -> None:
+    """Print one results artifact's experiment tables (report body)."""
+    for row in document["rows"]:
+        result = row.get("result")
+        if result is None:
+            error = row.get("error") or {}
+            print(f"{document['header']['experiment']} trial {row['index']}: "
+                  f"QUARANTINED after {error.get('attempts', '?')} attempt(s): "
+                  f"{error.get('error', 'unknown failure')}")
+            continue
+        print(render_table(result["headers"], [tuple(r) for r in result["rows"]],
+                           title=f"{result['experiment']}: {result['title']}"))
+        if result.get("notes"):
+            print(result["notes"])
+
+
 def cmd_report(args) -> int:
-    """Print every measured experiment table (EXPERIMENTS.md body)."""
+    """Print every measured experiment table (EXPERIMENTS.md body).
+
+    Every experiment runs through the registry and renders from its
+    ``repro-results/v1`` document — the same artifact ``repro run
+    --results`` writes, ``--results PATH`` re-reads, and ``--emit-results
+    DIR`` persists for the dash/bench consumers.
+    """
     import json
+    import os
 
-    from .core import run_all
+    from .core.registry import results_ok, run_experiment
+    from .core.resume import load_results, write_results
 
-    results = run_all()
-    if getattr(args, "json", False):
-        print(json.dumps([result.to_dict() for result in results], indent=2))
+    documents = []
+    if getattr(args, "results", None):
+        for path in args.results:
+            try:
+                header, rows = load_results(path)
+            except (OSError, ValueError) as error:
+                print(f"repro report: cannot read results artifact {path}: "
+                      f"{error}", file=sys.stderr)
+                return 2
+            documents.append({"header": header, "rows": rows})
     else:
-        for result in results:
-            print(result.describe())
+        for spec in all_experiments():
+            documents.append(run_experiment(spec).to_artifact())
+        if getattr(args, "emit_results", None):
+            os.makedirs(args.emit_results, exist_ok=True)
+            for document in documents:
+                path = os.path.join(
+                    args.emit_results,
+                    f"{document['header']['experiment']}.jsonl")
+                write_results(path, document["header"], document["rows"])
+            print(f"wrote {len(documents)} repro-results/v1 artifacts to "
+                  f"{args.emit_results}", file=sys.stderr)
+    if getattr(args, "json", False):
+        print(json.dumps(documents, indent=2, sort_keys=True))
+    else:
+        for document in documents:
+            _render_artifact_tables(document)
             print()
-    return 0 if all(result.all_pass for result in results) else 1
+    return 0 if all(results_ok(doc["rows"]) for doc in documents) else 1
 
 
 def _add_arch(parser: argparse.ArgumentParser) -> None:
@@ -130,20 +156,120 @@ def cmd_matrix(_args) -> int:
 
 
 def cmd_experiments(args) -> int:
-    wanted = [name.strip().upper() for name in args.only.split(",")] if args.only else list(EXPERIMENTS)
+    from .core.registry import REGISTRY, render_registry_table, run_experiment
+
+    if getattr(args, "list", False):
+        print(render_registry_table())
+        return 0
+    wanted = [name.strip().upper() for name in args.only.split(",")] if args.only else list(REGISTRY)
     status = 0
     for name in wanted:
-        experiment = EXPERIMENTS.get(name)
-        if experiment is None:
-            print(f"unknown experiment {name!r}; known: {', '.join(EXPERIMENTS)}",
+        if name not in REGISTRY:
+            print(f"unknown experiment {name!r}; known: {', '.join(REGISTRY)}",
                   file=sys.stderr)
             return 2
-        result = experiment()
-        print(result.describe())
+        run = run_experiment(name)
+        print(run.describe())
         print()
-        if not result.all_pass:
+        if not run.ok:
             status = 1
     return status
+
+
+def _parse_value(text: str):
+    """Literal-eval a CLI parameter value, falling back to the raw string."""
+    import ast
+
+    try:
+        return ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        return text
+
+
+def cmd_run(args) -> int:
+    """Run one registered experiment: grids, checkpoints, results artifact.
+
+    The registry-driven entry point.  ``--grid key=v1,v2`` widens a spec
+    axis into a sharded sweep, ``--checkpoint``/``--resume`` journal it
+    (per inner trial for experiments that support it, per grid point
+    otherwise), and ``--results PATH`` writes the ``repro-results/v1``
+    artifact that ``repro report --results``, ``repro dash --results``,
+    and the bench gate consume.
+    """
+    import json
+    import os
+
+    from .core import CheckpointMismatch, RunPolicy, TaskError
+    from .core.registry import get_experiment, run_experiment
+    from .core.resume import write_results
+    from .obs import Collector
+
+    try:
+        spec = get_experiment(args.experiment.strip().upper())
+    except KeyError as error:
+        print(f"repro run: {error.args[0]}", file=sys.stderr)
+        return 2
+    grid = {}
+    for item in args.grid or []:
+        key, sep, values = item.partition("=")
+        if not sep or not key.strip():
+            print(f"repro run: --grid wants KEY=V1,V2,... got {item!r}",
+                  file=sys.stderr)
+            return 2
+        grid[key.strip()] = tuple(_parse_value(value)
+                                  for value in values.split(","))
+    params = {}
+    for item in args.set or []:
+        key, sep, value = item.partition("=")
+        if not sep or not key.strip():
+            print(f"repro run: --set wants KEY=VALUE, got {item!r}",
+                  file=sys.stderr)
+            return 2
+        params[key.strip()] = _parse_value(value)
+    checkpoint = args.resume or args.checkpoint
+    resume = args.resume is not None
+    if (not resume and checkpoint and os.path.exists(checkpoint)
+            and os.path.getsize(checkpoint) > 0):
+        print(f"repro run: checkpoint {checkpoint!r} already has journaled "
+              "trials; pass --resume to continue it or remove the file to "
+              "start over", file=sys.stderr)
+        return 2
+    policy = None
+    if args.trial_timeout is not None or args.retries is not None:
+        policy = RunPolicy(
+            timeout=args.trial_timeout if args.trial_timeout is not None else 120.0,
+            retries=args.retries if args.retries is not None else 2,
+            on_failure="quarantine")
+    sweep_observer = Collector()
+    try:
+        run = run_experiment(
+            spec, grid=grid or None, params=params or None,
+            workers=args.workers, policy=policy, checkpoint=checkpoint,
+            resume=resume, sweep_observer=sweep_observer)
+    except CheckpointMismatch as error:
+        print(f"repro run: {error}", file=sys.stderr)
+        return 2
+    except ValueError as error:  # unknown grid/param name
+        print(f"repro run: {error}", file=sys.stderr)
+        return 2
+    except TaskError as error:
+        print(f"repro run: {error}", file=sys.stderr)
+        return 1
+    if args.results:
+        write_results(args.results, run.artifact_header(), run.artifact_rows())
+    # stdout is the artifact (tables or JSON); harness health and SLO
+    # verdicts go to stderr so clean and resumed runs byte-compare.
+    if args.json:
+        print(json.dumps(run.to_artifact(), indent=2, sort_keys=True))
+    else:
+        print(run.describe())
+    if run.stats is not None:
+        print(run.stats.describe(), file=sys.stderr)
+    print(run.slo_report.describe(), file=sys.stderr)
+    for trial in run.trials:
+        if trial.failure is not None:
+            print(f"repro run: {trial.failure.describe()}", file=sys.stderr)
+    return 0 if run.ok and run.slo_report.ok else 1
 
 
 def cmd_dos(args) -> int:
@@ -507,6 +633,26 @@ def cmd_bench(args) -> int:
         print(f"BENCH {entry['name']}: {detail}, "
               f"{entry['wall_speedup']:.2f}x wall speedup "
               f"({entry['cached']['steps_per_s']:,.0f} steps/s cached)")
+    # Correctness leg of the gate: a repro-results/v1 artifact from a
+    # registry run must be all-pass for the bench verdict to stay green.
+    results_gate_ok = True
+    if getattr(args, "results", None):
+        from .core.registry import results_ok
+        from .core.resume import load_results
+
+        try:
+            header, rows = load_results(args.results)
+        except (OSError, ValueError) as error:
+            print(f"repro bench: cannot read results artifact "
+                  f"{args.results}: {error}", file=sys.stderr)
+            return 1
+        results_gate_ok = results_ok(rows)
+        verdict = "ok" if results_gate_ok else "FAIL"
+        print(f"results gate [{verdict}]: {header['experiment']} "
+              f"({header['total']} trials, grid {header['grid_hash']})")
+        if not results_gate_ok:
+            print(f"repro bench: results artifact {args.results} carries "
+                  "failed or unexpected trials", file=sys.stderr)
     if args.compare:
         try:
             with open(args.compare, "r", encoding="utf-8") as handle:
@@ -529,10 +675,10 @@ def cmd_bench(args) -> int:
             print("repro bench: performance regression against "
                   f"{args.compare}", file=sys.stderr)
             return 1
-        return 0
+        return 0 if results_gate_ok else 1
     if not args.emit:
         print(text)
-    return 0
+    return 0 if results_gate_ok else 1
 
 
 def _dash_collector(args):
@@ -571,6 +717,19 @@ def cmd_dash(args) -> int:
     except SloRuleError as error:
         print(f"repro dash: {error}", file=sys.stderr)
         return 2
+    # Results artifacts ride along on the board: each panel renders the
+    # per-trial verdicts and failing trials flip the gate exit code.
+    documents = []
+    for path in args.results or []:
+        from .core.resume import load_results
+
+        try:
+            header, rows = load_results(path)
+        except (OSError, ValueError) as error:
+            print(f"repro dash: cannot read results artifact {path}: {error}",
+                  file=sys.stderr)
+            return 2
+        documents.append({"header": header, "rows": rows})
     collector = _dash_collector(args)
     color = not args.no_color
     if not args.once:
@@ -585,11 +744,23 @@ def cmd_dash(args) -> int:
             if args.fps > 0:
                 time.sleep(1.0 / args.fps)
     report = evaluate_slos(rules, collector)
+    from .core.registry import render_results_panel, results_ok
+
+    artifacts_ok = all(results_ok(doc["rows"]) for doc in documents)
     if args.json:
-        print(dashboard_json(collector, report, scenario=args.scenario))
+        import json as _json
+
+        payload = _json.loads(dashboard_json(collector, report,
+                                             scenario=args.scenario))
+        if documents:
+            payload["results"] = documents
+        print(_json.dumps(payload, indent=2))
     else:
         print(render_dashboard(collector, report, color=color))
-    return 0 if report.ok else 1
+        for document in documents:
+            print()
+            print(render_results_panel(document["header"], document["rows"]))
+    return 0 if report.ok and artifacts_ok else 1
 
 
 def cmd_offpath(args) -> int:
@@ -614,11 +785,54 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("matrix", help="run the six-attack §III matrix").set_defaults(run=cmd_matrix)
     report = subparsers.add_parser("report", help="print every measured experiment table")
     report.add_argument("--json", action="store_true", help="machine-readable output")
+    report.add_argument("--results", action="append", metavar="PATH",
+                        help="render from existing repro-results/v1 "
+                             "artifact(s) instead of re-running (repeatable)")
+    report.add_argument("--emit-results", metavar="DIR",
+                        help="also write one repro-results/v1 artifact per "
+                             "experiment into DIR")
     report.set_defaults(run=cmd_report)
 
     experiments = subparsers.add_parser("experiments", help="run paper experiments")
     experiments.add_argument("--only", help="comma-separated ids, e.g. E1,E5")
+    experiments.add_argument("--list", action="store_true",
+                             help="print the experiment registry (ids, grids, "
+                                  "passthrough capabilities) without running")
     experiments.set_defaults(run=cmd_experiments)
+
+    run = subparsers.add_parser(
+        "run", help="run one registered experiment (grids, checkpoints, "
+                    "repro-results/v1 artifact)")
+    run.add_argument("experiment", help="registry id, e.g. E15")
+    run.add_argument("--workers", type=int, default=1,
+                     help="fan grid/inner trials out over N processes "
+                          "(0 = one per CPU); output matches --workers 1")
+    run.add_argument("--grid", action="append", metavar="KEY=V1,V2",
+                     help="widen a spec parameter into a sweep axis "
+                          "(repeatable; values literal-eval'd)")
+    run.add_argument("--set", action="append", metavar="KEY=VALUE",
+                     help="pin one spec parameter (repeatable)")
+    journal = run.add_mutually_exclusive_group()
+    journal.add_argument("--checkpoint", metavar="PATH",
+                         help="journal completed trials to an append-only "
+                              "JSONL checkpoint at PATH")
+    journal.add_argument("--resume", metavar="PATH",
+                         help="resume a killed run from its checkpoint; only "
+                              "unfinished trials re-execute and the results "
+                              "artifact is byte-identical to an uninterrupted "
+                              "run (PATH is trusted input: payloads are "
+                              "unpickled, restricted to repro classes)")
+    run.add_argument("--trial-timeout", type=float, default=None,
+                     help="wall-clock seconds before a hung trial's pool is "
+                          "respawned (enables quarantine supervision)")
+    run.add_argument("--retries", type=int, default=None,
+                     help="retry budget per trial before quarantine "
+                          "(enables quarantine supervision)")
+    run.add_argument("--results", metavar="PATH",
+                     help="write the repro-results/v1 artifact to PATH")
+    run.add_argument("--json", action="store_true",
+                     help="print the artifact document instead of tables")
+    run.set_defaults(run=cmd_run)
 
     dos = subparsers.add_parser("dos", help="E1 crash PoC")
     _add_arch(dos)
@@ -709,6 +923,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--trajectory", metavar="PATH", default=None,
                        help="perf-history JSONL appended in --compare mode "
                             "(default benchmarks/trajectory.jsonl)")
+    bench.add_argument("--results", metavar="PATH",
+                       help="also gate on a repro-results/v1 artifact: every "
+                            "trial must be pass/expected")
     bench.set_defaults(run=cmd_bench)
 
     dash = subparsers.add_parser(
@@ -736,6 +953,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="replay frames in live mode")
     dash.add_argument("--fps", type=float, default=8.0,
                       help="replay speed (frames/second; 0 = no delay)")
+    dash.add_argument("--results", action="append", metavar="PATH",
+                      help="append repro-results/v1 artifact panel(s) to the "
+                           "board; failing trials flip the gate (repeatable)")
     dash.set_defaults(run=cmd_dash)
 
     trace_events = subparsers.add_parser(

@@ -31,6 +31,7 @@ from ..exploit import (
 from ..firmware import FIRMWARE_CATALOG, IoTDevice, UBUNTU_X86, audit_firmware, raspberry_pi_3b
 from ..net import AccessPoint, DhcpServer, DNS_PORT, Host, Network, RadioEnvironment, WifiPineapple
 from ..othercves import ALL_SPECS, AdaptedService, adapt_exploit, deliver_to_service
+from .registry import register_experiment
 from .report import render_table
 from .scenarios import AttackScenario, attacker_knowledge, run_scenario
 
@@ -96,6 +97,7 @@ def naive_overflow_blob(length: int = 1400) -> bytes:
     return bytes(out)
 
 
+@register_experiment("E1", "DoS via malformed DNS response (CVE-2017-12865)")
 def e1_dos() -> ExperimentResult:
     """Oversized Type A response: crash on <=1.34, dropped on 1.35."""
     result = ExperimentResult(
@@ -122,6 +124,7 @@ def e1_dos() -> ExperimentResult:
 # -- E2–E4: the six-attack matrix (§III-A/B/C) ------------------------------------
 
 
+@register_experiment("E2", "code injection, no protections (§III-A)")
 def e2_code_injection() -> ExperimentResult:
     """No protections: code injection spawns a root shell on both arches;
     the same payload faults under W^X."""
@@ -146,6 +149,7 @@ def e2_code_injection() -> ExperimentResult:
     return result
 
 
+@register_experiment("E3", "W^X bypass (§III-B)")
 def e3_wx_bypass() -> ExperimentResult:
     """W^X enabled: ret2libc (x86) / gadget execlp (ARM) succeed; the ARM
     narrow gadget fails in parse_rr; both fail against ASLR."""
@@ -178,6 +182,7 @@ def e3_wx_bypass() -> ExperimentResult:
     return result
 
 
+@register_experiment("E4", "W^X + ASLR bypass via ROP (§III-C)")
 def e4_aslr_bypass() -> ExperimentResult:
     """W^X + ASLR: the memcpy->.bss->execlp ROP chains succeed; the ARM
     full-string chain dies after three calls (the overwrite horizon)."""
@@ -226,6 +231,7 @@ class PineappleWorld:
         return cls(radio=radio, home_network=home, legit_dns=legit_dns)
 
 
+@register_experiment("E5", "remote MITM via Wi-Fi Pineapple (§III-D)")
 def e5_pineapple() -> ExperimentResult:
     """Remote exploitation through a rogue AP, exactly the §III-D protocol:
     x86 basic stack smash as feasibility, then all three ARM exploits."""
@@ -276,7 +282,9 @@ def e5_pineapple() -> ExperimentResult:
 # -- E6: firmware survey (§III intro) ------------------------------------------------
 
 
+@register_experiment("E6", "shipping firmware still carrying CVE-2017-12865 (§III)")
 def e6_firmware_survey() -> ExperimentResult:
+    """Which catalog images ship a vulnerable Connman (paper's survey)."""
     result = ExperimentResult(
         "E6", "shipping firmware still carrying CVE-2017-12865 (§III)",
         headers=("firmware", "connman", "vulnerable", "expected"),
@@ -308,6 +316,7 @@ def e6_firmware_survey() -> ExperimentResult:
 # -- E7: suggested mitigations (§IV) -----------------------------------------------------
 
 
+@register_experiment("E7", "suggested mitigations vs. the paper's attacks (§IV)")
 def e7_mitigations() -> ExperimentResult:
     """Every §IV mitigation against the strongest applicable attack."""
     result = ExperimentResult(
@@ -390,8 +399,10 @@ def diversity_survival(arch: str = "x86", seeds: int = 8):
 # -- E8: adapting to other CVEs (§V) --------------------------------------------------------
 
 
+@register_experiment("E8", "adapting the exploit to other CVEs (§V)")
 def e8_adaptation(profiles: Optional[Sequence[Tuple[str, ProtectionProfile]]] = None
                   ) -> ExperimentResult:
+    """Port the overflow to the other CVE-bearing services (§V)."""
     result = ExperimentResult(
         "E8", "adapting the exploit to other CVEs (§V)",
         headers=("service", "cve", "protocol", "effort", "protections", "outcome", "expected"),
@@ -421,6 +432,8 @@ def e8_adaptation(profiles: Optional[Sequence[Tuple[str, ProtectionProfile]]] = 
 # -- E10: brute-forcing ASLR against a respawning daemon (§VI related work) -----
 
 
+@register_experiment("E10", "brute-forcing ASLR (ret2libc, respawning daemon)",
+                     grid={"max_attempts": (2048,)}, supports=("workers",))
 def e10_bruteforce(max_attempts: int = 2048, *,
                    workers: Optional[int] = 1) -> ExperimentResult:
     """32-bit ASLR entropy is brute-forceable; §IV/§VII defenses are not."""
@@ -454,6 +467,8 @@ def e10_bruteforce(max_attempts: int = 2048, *,
 # -- E11: off-path spoofing / cache-poisoning delivery (§III-D remark) ------------
 
 
+@register_experiment("E11", "off-path DNS spoofing delivery (no MITM)",
+                     grid={"burst": (2048,), "max_queries": (512,)})
 def e11_offpath(burst: int = 2048, max_queries: int = 512) -> ExperimentResult:
     """Exploitation without MITM: race the resolver with guessed ids."""
     from ..exploit import OffPathSpoofer
@@ -487,6 +502,7 @@ def e11_offpath(burst: int = 2048, max_queries: int = 512) -> ExperimentResult:
 # -- E12: household fleet compromise (§I motivation) ------------------------------
 
 
+@register_experiment("E12", "household fleet vs. one rogue AP (§I motivation)")
 def e12_fleet() -> ExperimentResult:
     """One evil twin vs. the whole household.
 
@@ -547,6 +563,7 @@ def e12_fleet() -> ExperimentResult:
 # -- E13: botnet recruitment via resolver poisoning (§III-D Mirai remark) ---------
 
 
+@register_experiment("E13", "botnet via poisoned forwarder delegation (§III-D remark)")
 def e13_botnet() -> ExperimentResult:
     """Fully off-path: poison the home forwarder's delegation, recruit the
     fleet through its own trusted resolver."""
@@ -610,9 +627,21 @@ def e13_botnet() -> ExperimentResult:
 # -- E14: exploit reliability across randomization draws ---------------------------
 
 
+@register_experiment("E14", "exploit reliability across fresh boots",
+                     grid={"trials": (10,)},
+                     supports=("workers", "checkpoint", "policy",
+                               "sweep_observer"))
 def e14_reliability(trials: int = 10, *,
-                    workers: Optional[int] = 1) -> ExperimentResult:
-    """Success rates per technique over fresh boots (fresh ASLR draws)."""
+                    workers: Optional[int] = 1,
+                    checkpoint: Optional[str] = None, resume: bool = False,
+                    policy=None, sweep_observer=None) -> ExperimentResult:
+    """Success rates per technique over fresh boots (fresh ASLR draws).
+
+    ``checkpoint``/``resume``/``policy`` flow into the study runner
+    (journaled per STUDY_PLAN cell), so an interrupted E14 resumes to the
+    same table; ``sweep_observer`` collects the harness-health counters
+    the registry's SLO rules gate on.
+    """
     from .reliability import run_reliability_study
 
     result = ExperimentResult(
@@ -621,7 +650,9 @@ def e14_reliability(trials: int = 10, *,
         notes="'always' techniques use only non-randomized facts; 'lottery' "
               "is the 1-in-2^entropy residual that E10 brute-forces.",
     )
-    for cell in run_reliability_study(trials=trials, workers=workers):
+    for cell in run_reliability_study(trials=trials, workers=workers,
+                                      policy=policy, checkpoint=checkpoint,
+                                      resume=resume, observer=sweep_observer):
         result.rows.append(cell.row() + (_check(cell.matches_expectation),))
     return result
 
@@ -629,9 +660,20 @@ def e14_reliability(trials: int = 10, *,
 # -- E15: brute-force cost vs. ASLR entropy (figure series) -------------------------
 
 
+@register_experiment("E15", "brute-force attempts vs. ASLR entropy (figure series)",
+                     grid={"runs_per_point": (5,)},
+                     supports=("workers", "checkpoint", "policy",
+                               "sweep_observer"))
 def e15_entropy_sweep(runs_per_point: int = 5, *,
-                      workers: Optional[int] = 1) -> ExperimentResult:
-    """Median brute-force attempts scale linearly with randomization span."""
+                      workers: Optional[int] = 1,
+                      checkpoint: Optional[str] = None, resume: bool = False,
+                      policy=None, sweep_observer=None) -> ExperimentResult:
+    """Median brute-force attempts scale linearly with randomization span.
+
+    ``checkpoint``/``resume``/``policy`` reach the underlying entropy
+    sweep (journaled per brute-force trial): ``repro run E15 --checkpoint
+    ... --resume`` re-executes only the trials a killed run is missing.
+    """
     from .sweeps import sweep_bruteforce_entropy
 
     result = ExperimentResult(
@@ -641,7 +683,9 @@ def e15_entropy_sweep(runs_per_point: int = 5, *,
               "traffic; IoT-class 32-bit targets cannot widen the span enough.",
     )
     points = sweep_bruteforce_entropy(runs_per_point=runs_per_point,
-                                      workers=workers)
+                                      workers=workers, policy=policy,
+                                      checkpoint=checkpoint, resume=resume,
+                                      observer=sweep_observer)
     for point in points:
         result.rows.append(point.row() + (_check(point.plausible),))
     medians = [point.median_attempts for point in points]
@@ -656,6 +700,10 @@ def e15_entropy_sweep(runs_per_point: int = 5, *,
 # -- E16: chaos sweep — resilience & attack success under injected faults ---------
 
 
+@register_experiment("E16", "chaos sweep: availability and attack success under faults",
+                     grid={"queries_per_rate": (24,), "attack_budget": (32,)},
+                     supports=("workers", "checkpoint", "policy",
+                               "sweep_observer"))
 def e16_chaos(rates: Sequence[float] = (0.0, 0.2, 0.5),
               queries_per_rate: int = 24, attack_budget: int = 32, *,
               workers: Optional[int] = 1, checkpoint: Optional[str] = None,
@@ -718,21 +766,11 @@ def e16_chaos(rates: Sequence[float] = (0.0, 0.2, 0.5),
 
 
 def run_all() -> List[ExperimentResult]:
-    """Every experiment, in DESIGN.md order."""
-    return [
-        e1_dos(),
-        e2_code_injection(),
-        e3_wx_bypass(),
-        e4_aslr_bypass(),
-        e5_pineapple(),
-        e6_firmware_survey(),
-        e7_mitigations(),
-        e8_adaptation(),
-        e10_bruteforce(),
-        e11_offpath(),
-        e12_fleet(),
-        e13_botnet(),
-        e14_reliability(),
-        e15_entropy_sweep(),
-        e16_chaos(),
-    ]
+    """Every experiment, in DESIGN.md order — resolved from the registry.
+
+    This used to be a second hand-written call list that had to be kept
+    in sync with the CLI's dispatch table; now both walk the registry.
+    """
+    from .registry import all_experiments, run_experiment
+
+    return [run_experiment(spec).result for spec in all_experiments()]

@@ -36,6 +36,9 @@ from .scenarios import AttackScenario, attacker_knowledge
 
 ASLR_ONLY = ProtectionProfile(wx=False, aslr=True)
 
+#: Checkpoint identity for the reliability study (resume validates it).
+RELIABILITY_EXPERIMENT_ID = "E14.reliability"
+
 
 @dataclass(frozen=True)
 class ReliabilityCell:
@@ -125,12 +128,36 @@ def _reliability_cell(task: Tuple[int, int, int]) -> ReliabilityCell:
 
 
 def run_reliability_study(trials: int = 10, seed: int = 0xE14, *,
-                          workers: Optional[int] = 1) -> List[ReliabilityCell]:
-    """Build each exploit once, deliver it to ``trials`` fresh boots."""
+                          workers: Optional[int] = 1, policy=None,
+                          checkpoint: Optional[str] = None,
+                          resume: bool = False,
+                          observer=None) -> List[ReliabilityCell]:
+    """Build each exploit once, deliver it to ``trials`` fresh boots.
+
+    Like the entropy sweep, the study journals per STUDY_PLAN cell when
+    given a ``checkpoint`` path: a killed run resumes (``resume=True``)
+    by re-executing only the cells the journal is missing, and the cells
+    are seed-independent, so the resumed table matches the uninterrupted
+    one exactly.
+    """
     from .parallel import run_tasks
+    from .resume import SweepCheckpoint, grid_hash
 
     tasks = [(index, trials, seed) for index in range(len(STUDY_PLAN))]
-    # seed_of: failure context for tuple-shaped tasks (the derived study
-    # seed lives in slot 2 of each spec).
-    return run_tasks(_reliability_cell, tasks, workers=workers,
-                     seed_of=lambda task: task[2], label="reliability")
+    journal = None
+    if checkpoint is not None:
+        journal = SweepCheckpoint(
+            checkpoint, experiment=RELIABILITY_EXPERIMENT_ID,
+            grid_hash=grid_hash(tasks), total=len(tasks), seed=seed,
+            resume=resume,
+        )
+    try:
+        # seed_of: failure context for tuple-shaped tasks (the derived
+        # study seed lives in slot 2 of each spec).
+        return run_tasks(_reliability_cell, tasks, workers=workers,
+                         policy=policy, checkpoint=journal,
+                         observer=observer, seed_of=lambda task: task[2],
+                         label="reliability")
+    finally:
+        if journal is not None:
+            journal.close()

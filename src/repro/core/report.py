@@ -7,8 +7,20 @@ from typing import Iterable, List, Sequence
 
 def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
                  title: str = "") -> str:
-    """Fixed-width ASCII table; every cell is str()-ed."""
+    """Fixed-width ASCII table; every cell is str()-ed.
+
+    Every row must have exactly ``len(headers)`` cells: a short row would
+    silently render truncated (``zip`` stops at the narrower side) and a
+    long one used to die in the width pass with a bare ``IndexError``, so
+    ragged input is rejected up front with the offending row named.
+    """
     materialized: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    for position, row in enumerate(materialized):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"render_table: row {position} has {len(row)} cell(s), "
+                f"expected {len(headers)} to match headers "
+                f"{tuple(headers)!r}: {row!r}")
     widths = [len(header) for header in headers]
     for row in materialized:
         for index, cell in enumerate(row):

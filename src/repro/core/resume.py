@@ -58,6 +58,9 @@ from typing import Any, Dict, Iterable, Optional
 
 CHECKPOINT_SCHEMA = "repro-sweep-checkpoint/v1"
 
+#: Columnar results artifact: one JSONL row per grid trial.
+RESULTS_SCHEMA = "repro-results/v1"
+
 #: Environment knob: SIGKILL the sweep after journaling this many trials.
 KILL_AFTER_ENV = "REPRO_SWEEP_KILL_AFTER"
 
@@ -318,6 +321,111 @@ class SweepCheckpoint:
         return (f"checkpoint {self.path}: {len(self.completed)} resumed + "
                 f"{self.recorded} journaled of {self.total} trials "
                 f"({self.experiment}, grid {self.grid_hash})")
+
+
+# -- the repro-results/v1 artifact ---------------------------------------------
+#
+# The registry orchestrator's output format: a header line pinning the
+# experiment identity plus one JSON object per trial
+# (index/params/seed/outcome/expected/metrics/result/error).  Unlike the
+# checkpoint journal it carries no pickles — plain JSON a dashboard, the
+# bench gate, or an external notebook can read — and it is written
+# canonically (sorted keys, no timestamps), so a resumed sweep's artifact
+# is byte-identical to the uninterrupted run's.
+
+#: header field -> required type
+_RESULTS_HEADER_FIELDS = (
+    ("schema", str), ("experiment", str), ("title", str),
+    ("grid_hash", str), ("total", int), ("seed", int),
+)
+
+_RESULTS_ROW_FIELDS = (
+    ("index", int), ("params", dict), ("seed", int), ("outcome", str),
+    ("expected", bool),
+)
+
+_RESULTS_OUTCOMES = ("pass", "fail", "quarantined")
+
+
+def _results_line(record: Dict[str, Any]) -> str:
+    return json.dumps(record, sort_keys=True)
+
+
+def validate_results(header: Dict[str, Any],
+                     rows: Iterable[Dict[str, Any]]) -> None:
+    """Schema-check one artifact document; ``ValueError`` names the
+    offending row and field."""
+    for field_name, kind in _RESULTS_HEADER_FIELDS:
+        value = header.get(field_name)
+        if not isinstance(value, kind) or (
+                kind is int and isinstance(value, bool)):
+            raise ValueError(
+                f"results header: field {field_name!r} must be "
+                f"{kind.__name__}, got {value!r}")
+    if header["schema"] != RESULTS_SCHEMA:
+        raise ValueError(
+            f"results header: schema {header['schema']!r} is not "
+            f"{RESULTS_SCHEMA!r}")
+    rows = list(rows)
+    if header["total"] != len(rows):
+        raise ValueError(
+            f"results header: total={header['total']} but artifact carries "
+            f"{len(rows)} row(s)")
+    for position, row in enumerate(rows):
+        for field_name, kind in _RESULTS_ROW_FIELDS:
+            value = row.get(field_name)
+            if not isinstance(value, kind) or (
+                    kind is int and isinstance(value, bool)):
+                raise ValueError(
+                    f"results row {position}: field {field_name!r} must be "
+                    f"{kind.__name__}, got {value!r}")
+        if row["index"] != position:
+            raise ValueError(
+                f"results row {position}: index {row['index']} out of order")
+        if row["outcome"] not in _RESULTS_OUTCOMES:
+            raise ValueError(
+                f"results row {position}: outcome {row['outcome']!r} not in "
+                f"{_RESULTS_OUTCOMES}")
+        if row["outcome"] == "quarantined":
+            if row.get("error") is None:
+                raise ValueError(
+                    f"results row {position}: quarantined trial carries no "
+                    "error record")
+        elif not isinstance(row.get("result"), dict):
+            raise ValueError(
+                f"results row {position}: completed trial carries no result "
+                "payload")
+
+
+def write_results(path: str, header: Dict[str, Any],
+                  rows: Iterable[Dict[str, Any]]) -> None:
+    """Write one validated artifact (canonical JSONL: header, then rows)."""
+    rows = list(rows)
+    validate_results(header, rows)
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(_results_line(header) + "\n")
+        for row in rows:
+            handle.write(_results_line(row) + "\n")
+
+
+def load_results(path: str):
+    """Read and validate one artifact; returns ``(header, rows)``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    if not lines:
+        raise ValueError(f"results artifact {path}: empty file")
+    try:
+        header = json.loads(lines[0])
+        rows = [json.loads(line) for line in lines[1:] if line.strip()]
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"results artifact {path}: unreadable JSON: {exc}")
+    if not isinstance(header, dict):
+        raise ValueError(f"results artifact {path}: header is not an object")
+    validate_results(header, rows)
+    return header, rows
 
 
 def load_checkpoint_results(path: str) -> Dict[int, Any]:

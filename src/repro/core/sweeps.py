@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence
 
 from ..exploit import BruteForceTrial, run_bruteforce_trial
 from .parallel import RunPolicy, run_tasks
+from .registry import derive_seed
 from .resume import SweepCheckpoint, grid_hash
 
 DEFAULT_ENTROPY_SERIES = (16, 64, 256, 1024)
@@ -68,6 +69,7 @@ def sweep_bruteforce_entropy(
     policy: Optional[RunPolicy] = None,
     checkpoint: Optional[str] = None,
     resume: bool = False,
+    observer=None,
 ) -> List[EntropyPoint]:
     """Median brute-force attempts as the randomization span grows.
 
@@ -79,11 +81,19 @@ def sweep_bruteforce_entropy(
     are positional), so the sweep stays strict: a trial that exhausts the
     policy's retry budget raises :class:`~repro.core.resume.TaskError`
     with its index and derived victim seed attached.
+
+    Seeds come from :func:`~repro.core.registry.derive_seed` (crc32 over
+    ``experiment/entropy/run/role``).  The old XOR-plus-one stacking made
+    run N's attacker share run N+1's victim stream (``(base^run)+1 ==
+    base^(run+1)`` whenever ``run`` is even), quietly correlating
+    adjacent trials of the very independence this series measures.
     """
     trials = [
         BruteForceTrial(
-            victim_seed=seed ^ (entropy << 4) ^ run,
-            attacker_seed=(seed ^ (entropy << 4) ^ run) + 1,
+            victim_seed=seed ^ derive_seed(
+                ENTROPY_EXPERIMENT_ID, entropy, run, "victim"),
+            attacker_seed=seed ^ derive_seed(
+                ENTROPY_EXPERIMENT_ID, entropy, run, "attacker"),
             max_attempts=entropy * 16,
             entropy_pages=entropy,
         )
@@ -99,7 +109,8 @@ def sweep_bruteforce_entropy(
         )
     try:
         results = run_tasks(run_bruteforce_trial, trials, workers=workers,
-                            policy=policy, checkpoint=journal, label="entropy")
+                            policy=policy, checkpoint=journal,
+                            observer=observer, label="entropy")
     finally:
         if journal is not None:
             journal.close()

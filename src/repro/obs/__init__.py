@@ -41,6 +41,7 @@ from .slo import (
     SloVerdict,
     evaluate_slos,
     parse_rule,
+    parse_rules,
 )
 from .timeseries import TimeSeries, TimeSeriesStore
 from .pcap import (
@@ -76,6 +77,7 @@ __all__ = [
     "parse_openmetrics",
     "parse_pcap_text",
     "parse_rule",
+    "parse_rules",
     "PcapFormatError",
     "render_dashboard",
     "render_openmetrics",

@@ -121,6 +121,18 @@ def parse_rule(text: str, name: Optional[str] = None) -> SloRule:
     )
 
 
+def parse_rules(rules) -> tuple:
+    """Parse a mixed sequence of rule strings and :class:`SloRule`\\ s.
+
+    The convenience face declarative consumers use (the experiment
+    registry's per-spec SLO lists, CLI ``--health-slo`` flags): already-
+    parsed rules pass through untouched, strings go through
+    :func:`parse_rule`.
+    """
+    return tuple(rule if isinstance(rule, SloRule) else parse_rule(rule)
+                 for rule in rules)
+
+
 @dataclass(frozen=True)
 class SloVerdict:
     """One rule's evaluation: observed value vs. objective."""

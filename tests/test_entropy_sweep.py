@@ -59,3 +59,58 @@ class TestSweep:
         result = e15_entropy_sweep(runs_per_point=3)
         assert result.all_pass
         assert result.rows[-1][0] == "(scaling)"
+
+
+class TestTrialSeedIndependence:
+    """Regression: ``attacker_seed = victim_seed + 1`` correlated trials.
+
+    With XOR-stacked victim seeds, ``(base ^ run) + 1 == base ^ (run + 1)``
+    whenever ``run`` is even — run N's attacker replayed run N+1's victim
+    RNG stream.  The crc32 derivation keys every (entropy, run, role)
+    independently.
+    """
+
+    def _trial_seeds(self, entropy_series=(16, 64), runs_per_point=6, seed=0xE15):
+        from repro.core.registry import derive_seed
+        from repro.core.sweeps import ENTROPY_EXPERIMENT_ID
+
+        return [
+            (entropy, run,
+             seed ^ derive_seed(ENTROPY_EXPERIMENT_ID, entropy, run, "victim"),
+             seed ^ derive_seed(ENTROPY_EXPERIMENT_ID, entropy, run, "attacker"))
+            for entropy in entropy_series
+            for run in range(runs_per_point)
+        ]
+
+    def test_no_seed_shared_between_any_two_roles(self):
+        seeds = [s for *_ignored, victim, attacker in self._trial_seeds()
+                 for s in (victim, attacker)]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_attacker_never_replays_adjacent_victim(self):
+        trials = self._trial_seeds()
+        for (_, _, _, attacker), (_, _, next_victim, _) in zip(trials, trials[1:]):
+            assert attacker != next_victim
+
+    def test_sweep_consumes_the_derived_seeds(self):
+        """The fix lives in the sweep itself, not just the helper."""
+        import repro.core.sweeps as sweeps
+        from repro.exploit import BruteForceTrial
+
+        captured = []
+
+        def _spy(task_fn, tasks, **kwargs):
+            captured.extend(tasks)
+            from repro.core.parallel import run_tasks
+            return run_tasks(task_fn, tasks, **kwargs)
+
+        original = sweeps.run_tasks
+        sweeps.run_tasks = _spy
+        try:
+            sweep_bruteforce_entropy(entropy_series=(8,), runs_per_point=2)
+        finally:
+            sweeps.run_tasks = original
+        expected = self._trial_seeds(entropy_series=(8,), runs_per_point=2)
+        assert [(t.victim_seed, t.attacker_seed) for t in captured] == [
+            (victim, attacker) for _, _, victim, attacker in expected]
+        assert all(isinstance(t, BruteForceTrial) for t in captured)

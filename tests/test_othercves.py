@@ -174,3 +174,55 @@ class TestAdaptedExploits:
         report = deliver_to_service(exploit, service)
         assert report.got_root_shell
         assert report.protocol == "http"
+
+
+class TestAdaptationMatrix:
+    """Regression: the unprotected (§V, profile=none) column used to fail.
+
+    With the code-injection builders tuned only for Connman's 1024-byte
+    buffer, the ARM island (fixed ISLAND_OFFSET=512) ran past the 512/256
+    byte adapted buffers and glued onto the return word (a >63-byte fixed
+    stretch no DNS label can cover), and the x86 sled could not reach a
+    256-aligned entry inside tcp-control's 192-byte buffer.
+    """
+
+    PROFILES = (("none", NONE), ("W^X", WX), ("W^X+ASLR", WX_ASLR))
+
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda spec: spec.name)
+    def test_every_service_roots_under_every_profile(self, spec):
+        for label, profile in self.PROFILES:
+            service = AdaptedService(spec, profile=profile)
+            builder = builder_for(spec.arch, profile)
+            exploit = adapt_exploit(builder, service, aslr_blind=profile.aslr)
+            report = deliver_to_service(exploit, service)
+            assert report.got_root_shell, (spec.name, label, report.describe())
+
+    def test_arm_island_pulled_inside_small_buffers(self):
+        for spec in (SYSTEMD_RESOLVED, ROUTER_HTTPD):
+            service = AdaptedService(spec, profile=NONE)
+            exploit = adapt_exploit(builder_for("arm", NONE), service,
+                                    aslr_blind=False)
+            # The saved-pc word points at the island; it must sit inside
+            # the overflowable buffer, not past its end.
+            start, end, _ = next(
+                span for span in exploit.payload.spans if "island" in span[2])
+            assert end <= spec.frame.buffer_size, exploit.payload.notes
+
+    def test_x86_restricted_spray_stays_inside_tiny_buffer(self):
+        service = AdaptedService(TCP_SERVICE, profile=NONE)
+        exploit = adapt_exploit(builder_for("x86", NONE), service,
+                                aslr_blind=False)
+        knowledge = knowledge_for_service(service, aslr_blind=False)
+        sled_start, sled_end, _ = next(
+            span for span in exploit.payload.spans if "sled" in span[2])
+        # Every planned boundary byte inside the spray keeps the patched
+        # return address at or after the sled's first byte.
+        spray_start, spray_end, _ = next(
+            span for span in exploit.payload.spans if "spray" in span[2])
+        image = exploit.payload.image
+        page = knowledge.name_address & ~0xFF
+        for boundary in exploit.payload.boundaries:
+            if spray_start <= boundary < spray_end:
+                landing = page + image[boundary]
+                assert knowledge.name_address + sled_start <= landing
+                assert landing < knowledge.name_address + sled_end
