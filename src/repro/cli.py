@@ -60,6 +60,7 @@ from .exploit import (
     builder_for,
     deliver,
 )
+from .obs import DEFAULT_SAMPLE_INTERVAL
 
 LEVELS: Dict[str, ProtectionProfile] = {
     "none": NONE,
@@ -543,12 +544,69 @@ def cmd_trace_export(args) -> int:
     """Export one observed attack as Chrome trace-event JSON (Perfetto)."""
     import json
 
-    from .obs import export_chrome_trace, validate_chrome_trace
+    from .core import run_observed_attack
+    from .obs import (Collector, TimeSeriesStore, export_chrome_trace,
+                      validate_chrome_trace)
 
-    run = _observed_attack_run(args)
+    # A series-attached collector so the export carries Perfetto counter
+    # tracks (ph "C") alongside the span events.
+    collector = Collector(series=TimeSeriesStore(interval=1.0))
+    run = run_observed_attack(arch=args.arch, level_label=args.level,
+                              seed=args.seed, observer=collector)
+    collector.sample()
     document = export_chrome_trace(run.collector)
     validate_chrome_trace(document)
     print(json.dumps(document, indent=None if args.compact else 2))
+    return 0
+
+
+def cmd_profile(args) -> int:
+    """Deterministic cost attribution for one observed scenario.
+
+    Runs the selected scenario with a :class:`DeterministicProfiler`
+    riding the collector and prints, by flag: the text attribution
+    report (default), folded stacks for ``flamegraph.pl`` (``--folded``),
+    a speedscope JSON document (``--speedscope``), or the full profile
+    payload (``--json``).  Sampling happens on the simulated step clock,
+    so the output is a pure function of the scenario seed.
+    """
+    import json
+
+    from .obs import Collector, DeterministicProfiler, render_profile
+
+    collector = Collector()
+    profiler = collector.attach_profiler(
+        DeterministicProfiler(sample_interval=args.sample_interval))
+    if args.scenario == "chaos":
+        from .core import run_chaos_point
+
+        # The chaos scenario is the x86 daemon under LAN faults; --arch
+        # is ignored here (see the subparser help).
+        run_chaos_point(args.fault_level, seed=args.seed,
+                        queries=args.queries,
+                        attack_budget=args.attack_budget, observer=collector)
+    elif args.scenario == "crash":
+        from .core import run_forced_crash
+
+        run_forced_crash(arch=args.arch, seed=args.seed, observer=collector)
+    else:  # attack
+        from .core import run_observed_attack
+
+        run_observed_attack(arch=args.arch, level_label=args.level,
+                            seed=args.seed, observer=collector)
+    if args.folded:
+        print(profiler.folded(), end="")
+    elif args.speedscope:
+        from .obs import validate_speedscope
+
+        document = profiler.speedscope(
+            name=f"repro {args.scenario} ({args.arch})")
+        validate_speedscope(document)
+        print(json.dumps(document, indent=2))
+    elif args.json:
+        print(json.dumps(profiler.to_dict(), indent=2))
+    else:
+        print(render_profile(profiler.data, top=args.top))
     return 0
 
 
@@ -610,7 +668,8 @@ def cmd_bench(args) -> int:
     import json
 
     from .core import (append_trajectory, collect_baseline, compare_baseline,
-                       describe_comparison, trajectory_entry,
+                       describe_attribution, describe_comparison,
+                       profile_attribution, trajectory_entry,
                        validate_baseline)
 
     try:
@@ -619,6 +678,10 @@ def cmd_bench(args) -> int:
         print(f"repro bench: fresh payload failed validation: {error}",
               file=sys.stderr)
         return 1
+    attribution = None
+    if getattr(args, "profile", False):
+        attribution = profile_attribution(steps=args.steps)
+        print(describe_attribution(attribution))
     text = json.dumps(payload, indent=2, sort_keys=True)
     if args.emit:
         with open(args.emit, "w", encoding="utf-8") as handle:
@@ -669,7 +732,8 @@ def cmd_bench(args) -> int:
             return 1
         print(describe_comparison(result))
         trajectory = args.trajectory or "benchmarks/trajectory.jsonl"
-        append_trajectory(trajectory, trajectory_entry(payload, result["ok"]))
+        append_trajectory(trajectory, trajectory_entry(
+            payload, result["ok"], attribution=attribution))
         print(f"trajectory: appended to {trajectory}")
         if not result["ok"]:
             print("repro bench: performance regression against "
@@ -683,9 +747,10 @@ def cmd_bench(args) -> int:
 
 def _dash_collector(args):
     """Run the selected scenario under a series-attached collector."""
-    from .obs import Collector, TimeSeriesStore
+    from .obs import Collector, DeterministicProfiler, TimeSeriesStore
 
     collector = Collector(series=TimeSeriesStore(interval=args.interval))
+    collector.attach_profiler(DeterministicProfiler())
     if args.scenario == "chaos":
         from .core import run_chaos_point
 
@@ -926,6 +991,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--results", metavar="PATH",
                        help="also gate on a repro-results/v1 artifact: every "
                             "trial must be pass/expected")
+    bench.add_argument("--profile", action="store_true",
+                       help="also print deterministic cost attribution "
+                            "(per-opcode/per-block) next to the wall numbers; "
+                            "in --compare mode it rides into the trajectory "
+                            "entry")
     bench.set_defaults(run=cmd_bench)
 
     dash = subparsers.add_parser(
@@ -982,6 +1052,33 @@ def build_parser() -> argparse.ArgumentParser:
         "spans", help="span tree of one wire-to-verdict observed attack")
     _add_attack_args(spans)
     spans.set_defaults(run=cmd_spans)
+
+    profile = subparsers.add_parser(
+        "profile", help="deterministic cost attribution for one observed "
+                        "scenario (opcodes, blocks, caches, flamegraphs)")
+    _add_attack_args(profile)
+    profile.add_argument("--scenario", choices=("attack", "crash", "chaos"),
+                         default="attack",
+                         help="attack = wire-to-verdict exploit (default); "
+                              "crash = forced CVE-2017-12865 crash; chaos = "
+                              "one x86 chaos point (--arch ignored)")
+    profile.add_argument("--fault-level", type=float, default=0.3,
+                         help="fault level for the chaos scenario")
+    profile.add_argument("--queries", type=int, default=16,
+                         help="client queries for the chaos scenario")
+    profile.add_argument("--attack-budget", type=int, default=12,
+                         help="brute-force attempts for the chaos scenario")
+    profile.add_argument("--sample-interval", type=int,
+                         default=DEFAULT_SAMPLE_INTERVAL,
+                         help="guest steps between stack samples "
+                              "(0 disables stack sampling)")
+    profile.add_argument("--top", type=int, default=10,
+                         help="rows per table in the text report")
+    profile.add_argument("--folded", action="store_true",
+                         help="emit folded stacks (flamegraph.pl input)")
+    profile.add_argument("--speedscope", action="store_true",
+                         help="emit a speedscope JSON document")
+    profile.set_defaults(run=cmd_profile)
 
     trace_export = subparsers.add_parser(
         "trace-export", help="Chrome trace-event JSON of an observed attack")

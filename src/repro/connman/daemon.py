@@ -92,6 +92,12 @@ class ConnmanDaemon:
         )
         # Emulator runs over this process flush decode-cache counters here.
         self.loaded.process.observer = self.observer
+        if self.observer is not None and self.observer.profiler is not None:
+            # Profiled boot: the emulator attributes cost through the
+            # collector's profiler, and stack samples symbolize against
+            # *this* boot's tables (ASLR re-slides libc every boot).
+            self.loaded.process.profiler = self.observer.profiler
+            self.observer.profiler.register_symbols(self.loaded)
         canary = StackCanary(self.rng) if self.profile.canary else None
         ret_guard = ReturnAddressGuard(self.rng) if self.profile.ret_guard else None
         if self.profile.cfi:

@@ -245,6 +245,91 @@ def validate_baseline(payload: Dict[str, object]) -> Dict[str, object]:
     return payload
 
 
+# -- profiled attribution --------------------------------------------------------
+
+ATTRIBUTION_SCHEMA = "repro-bench-attribution/v1"
+
+
+def profile_attribution(steps: int = 12_000,
+                        arches: Sequence[str] = ("x86", "arm"),
+                        *, top: int = 8) -> Dict[str, object]:
+    """Per-opcode/per-block attribution of the dispatch benchmark.
+
+    Runs the same loop as the ``blocks`` benchmark with a
+    :class:`~repro.obs.profiler.DeterministicProfiler` attached (stack
+    sampling off — this is pure cost attribution), so a perf PR can show
+    *which* opcodes and blocks it sped up, not just the aggregate ratio.
+    The wall-clock correlation rides the separate opt-in
+    :class:`~repro.obs.profiler.WallClockProfiler` layer: deterministic
+    attribution and machine-dependent steps/second never mix.
+    """
+    from ..obs.profiler import DeterministicProfiler, WallClockProfiler
+
+    wall = WallClockProfiler()
+    entries: List[Dict[str, object]] = []
+    for arch in arches:
+        emulator = _build_loop_emulator(arch)
+        process = emulator.process
+        profiler = DeterministicProfiler(sample_interval=0)
+        process.profiler = profiler
+        with wall.section(f"{arch}-tight-loop-blocks") as section:
+            result = emulator.run(max_steps=steps)
+        section.steps = result.steps
+        data = profiler.data
+        entries.append({
+            "arch": arch,
+            "steps": result.steps,
+            "block_steps": data.block_steps,
+            "top_opcodes": [
+                {"opcode": name, "steps": count}
+                for name, count in data.opcode_table(top)
+            ],
+            "hot_blocks": [
+                {**row, "entry": f"{row['entry']:#010x}"}
+                for row in data.block_table(4)
+            ],
+            "cache": dict(sorted(data.cache.items())),
+        })
+    return {
+        "schema": ATTRIBUTION_SCHEMA,
+        "steps": steps,
+        "benchmarks": entries,
+        "wall": wall.to_dict(),
+    }
+
+
+def describe_attribution(payload: Dict[str, object]) -> str:
+    """Text rendering of a :func:`profile_attribution` payload."""
+    lines = []
+    wall_by_label = {
+        section["label"]: section
+        for section in payload.get("wall", {}).get("sections", [])
+    }
+    for entry in payload["benchmarks"]:
+        arch = entry["arch"]
+        lines.append(
+            f"ATTRIBUTION {arch}: {entry['steps']} steps "
+            f"({entry['block_steps']} via blocks)")
+        total = max(entry["steps"], 1)
+        for row in entry["top_opcodes"]:
+            lines.append(
+                f"  {row['opcode']:<10} {row['steps']:>8} "
+                f"{100.0 * row['steps'] / total:5.1f}%")
+        for row in entry["hot_blocks"]:
+            amortized = row["steps"] / row["builds"] if row["builds"] else 0.0
+            lines.append(
+                f"  block {row['entry']} len={row['length']} "
+                f"dispatches={row['dispatches']} steps={row['steps']} "
+                f"steps/build={amortized:.1f}")
+        wall = wall_by_label.get(f"{arch}-tight-loop-blocks")
+        if wall is not None and wall.get("steps_per_second"):
+            lines.append(
+                f"  wall correlation: {wall['wall_seconds']:.4f}s "
+                f"({wall['steps_per_second']:.0f} steps/s, "
+                f"machine-dependent)")
+    return "\n".join(lines)
+
+
 # -- regression gate -------------------------------------------------------------
 
 COMPARE_SCHEMA = "repro-bench-compare/v1"
@@ -360,9 +445,16 @@ def describe_comparison(result: Dict[str, object]) -> str:
 
 def trajectory_entry(payload: Dict[str, object],
                      compare_ok: Optional[bool] = None,
-                     when: Optional[str] = None) -> Dict[str, object]:
-    """One compact perf-history line for ``benchmarks/trajectory.jsonl``."""
-    return {
+                     when: Optional[str] = None,
+                     attribution: Optional[Dict[str, object]] = None
+                     ) -> Dict[str, object]:
+    """One compact perf-history line for ``benchmarks/trajectory.jsonl``.
+
+    ``attribution`` (a :func:`profile_attribution` payload) rides along
+    so future perf PRs can show *which* opcodes/blocks they sped up; the
+    wall section is dropped — history lines stay machine-comparable.
+    """
+    entry = {
         "schema": TRAJECTORY_SCHEMA,
         "when": when or datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "steps": payload["steps"],
@@ -370,6 +462,13 @@ def trajectory_entry(payload: Dict[str, object],
         "benchmarks": [_trajectory_benchmark(entry)
                        for entry in payload["benchmarks"]],
     }
+    if attribution is not None:
+        entry["attribution"] = {
+            "schema": attribution["schema"],
+            "steps": attribution["steps"],
+            "benchmarks": attribution["benchmarks"],
+        }
+    return entry
 
 
 def _trajectory_benchmark(entry: Dict[str, object]) -> Dict[str, object]:

@@ -241,11 +241,17 @@ def _chaos_point_task(task: Tuple) -> Tuple:
     series match the sequential run exactly.
     """
     (level, point_seed, queries, attack_budget, entropy_pages,
-     start_limit_burst, observed, sample_interval, sample_limit) = task
+     start_limit_burst, observed, sample_interval, sample_limit,
+     profile_interval) = task
     collector = Collector() if observed else None
     if collector is not None and sample_interval is not None:
         collector.attach_series(
             TimeSeriesStore(interval=sample_interval, limit=sample_limit))
+    if collector is not None and profile_interval is not None:
+        from ..obs import DeterministicProfiler
+
+        collector.attach_profiler(
+            DeterministicProfiler(sample_interval=profile_interval))
     cell = run_chaos_point(
         level,
         seed=point_seed,
@@ -256,9 +262,11 @@ def _chaos_point_task(task: Tuple) -> Tuple:
         observer=collector,
     )
     if collector is None:
-        return cell, None, None, None, 0.0
+        return cell, None, None, None, 0.0, None
     return (cell, collector.metrics, collector.tracer.spans,
-            collector.series, collector.clock)
+            collector.series, collector.clock,
+            collector.profiler.snapshot() if collector.profiler is not None
+            else None)
 
 
 #: Checkpoint identity for the chaos sweep (resume validates against it).
@@ -319,11 +327,13 @@ def run_chaos_sweep(
                  or (resolve_workers(workers) > 1 and len(rates) > 1))
     if use_tasks:
         store = observer.series if observer is not None else None
+        profiler = observer.profiler if observer is not None else None
         tasks = [
             (level, seed + 7919 * index, queries_per_rate, attack_budget,
              entropy_pages, start_limit_burst, observer is not None,
              store.interval if store is not None else None,
-             store.limit if store is not None else 0)
+             store.limit if store is not None else 0,
+             profiler.sample_interval if profiler is not None else None)
             for index, level in enumerate(rates)
         ]
         journal = None
@@ -348,7 +358,7 @@ def run_chaos_sweep(
         for payload in outcome.results:
             if isinstance(payload, TrialFailure):
                 continue  # quarantined point: reported, not merged
-            cell, metrics, spans, series, clock = payload
+            cell, metrics, spans, series, clock, profile = payload
             report.cells.append(cell)
             if observer is not None:
                 if store is not None and series is not None:
@@ -363,6 +373,12 @@ def run_chaos_sweep(
                     # Deterministic merge: task order + id rebasing
                     # reproduce the sequential sweep's span forest exactly.
                     observer.tracer.adopt(spans)
+                if profiler is not None and profile is not None:
+                    # Profiles are pure counter sums with run-scoped
+                    # sampling phases, so adopting point snapshots in
+                    # task order reproduces the sequential profile
+                    # byte for byte (folded stacks included).
+                    profiler.adopt(profile)
                 # The shared sequential clock is a running max over the
                 # points (advance_to); reproduce it after the adopts so
                 # no already-covered grid boundary is re-sampled.

@@ -138,7 +138,12 @@ class ObservedAttack:
         )
 
 
+#: CLI spellings of the paper's protection labels (``repro ... --level``).
+_LEVEL_ALIASES = {"wx": "W^X", "wx+aslr": "W^X+ASLR"}
+
+
 def _profile_for(level_label: str) -> ProtectionProfile:
+    level_label = _LEVEL_ALIASES.get(level_label.lower(), level_label)
     for label, profile in PAPER_LEVELS:
         if label == level_label:
             return profile

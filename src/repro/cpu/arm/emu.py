@@ -41,7 +41,7 @@ class ArmEmulator(Emulator):
     def _branch_to(self, target: int) -> None:
         self.process.pc = target & MASK32
 
-    def step(self) -> None:
+    def step(self) -> Instruction:
         process = self.process
         address = process.pc
         if address % 4:
@@ -56,6 +56,7 @@ class ArmEmulator(Emulator):
             insn = decode(raw, address, strict=True)
             cache.record_decode(insn)
         self._execute(insn)
+        return insn
 
     def _execute(self, insn: Instruction) -> None:
         process = self.process

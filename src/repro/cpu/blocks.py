@@ -76,14 +76,21 @@ class Block:
     count for the run loop's budget accounting.
     """
 
-    __slots__ = ("entry", "length", "ops", "page_gens", "executed")
+    __slots__ = ("entry", "length", "ops", "page_gens", "executed",
+                 "mnemonics", "addresses")
 
-    def __init__(self, entry: int, ops: Tuple, page_gens: Tuple[Tuple[int, int], ...]):
+    def __init__(self, entry: int, ops: Tuple, page_gens: Tuple[Tuple[int, int], ...],
+                 mnemonics: Tuple[str, ...] = (), addresses: Tuple[int, ...] = ()):
         self.entry = entry
         self.ops = ops
         self.length = len(ops)
         self.page_gens = page_gens
         self.executed = 0
+        #: Per-instruction attribution lines (parallel to ``ops``), so the
+        #: profiler can sum a block dispatch into the same per-opcode /
+        #: per-address counters the per-step path produces.
+        self.mnemonics = mnemonics
+        self.addresses = addresses
 
     def execute(self, process: "Process") -> int:
         """Run the block; returns how many instructions completed.
@@ -116,9 +123,9 @@ class BlockCache:
     enabled_by_default = True
 
     __slots__ = ("process", "memory", "enabled", "hits", "misses",
-                 "invalidations", "epoch_flushes", "builds", "steps",
-                 "built_lengths", "_blocks", "_epoch", "_native_version",
-                 "_backend")
+                 "invalidations", "epoch_flushes", "native_flushes",
+                 "builds", "steps", "built_lengths", "_blocks", "_epoch",
+                 "_native_version", "_backend")
 
     def __init__(self, process: "Process", *, enabled: Optional[bool] = None):
         self.process = process
@@ -130,9 +137,13 @@ class BlockCache:
         self.misses = 0
         #: Entries dropped individually by a page-generation mismatch.
         self.invalidations = 0
-        #: Whole-cache flushes (mapping epoch moved, or a native handler
-        #: was registered after blocks were compiled).
+        #: Whole-cache flushes because the mapping epoch moved (remap).
         self.epoch_flushes = 0
+        #: Whole-cache flushes because a native handler was registered
+        #: after blocks were compiled (``native_version`` moved).  Split
+        #: from :attr:`epoch_flushes` so cache-efficiency attribution can
+        #: tell "new code was mapped" from "the libc model grew".
+        self.native_flushes = 0
         #: Blocks successfully compiled.
         self.builds = 0
         #: Instructions executed through compiled blocks (the run loop
@@ -158,14 +169,18 @@ class BlockCache:
         """Return a still-valid compiled block entered at ``address``."""
         memory = self.memory
         process = self.process
-        if (self._epoch != memory.mapping_epoch
-                or self._native_version != process.native_version):
+        epoch_moved = self._epoch != memory.mapping_epoch
+        if epoch_moved or self._native_version != process.native_version:
             # Mapping table or native registry changed: every compiled
             # block is suspect (a remap is new code; a new native handler
-            # could sit inside a block's straight line).
+            # could sit inside a block's straight line).  An epoch move
+            # takes attribution precedence when both changed at once.
             if self._blocks:
                 self._blocks.clear()
-                self.epoch_flushes += 1
+                if epoch_moved:
+                    self.epoch_flushes += 1
+                else:
+                    self.native_flushes += 1
             self._epoch = memory.mapping_epoch
             self._native_version = process.native_version
             return None
@@ -254,7 +269,9 @@ class BlockCache:
                     flags_needed=needed,
                     guard=guard if backend.block_writes_memory(insn) else None,
                 ))
-        return Block(entry, tuple(ops), page_gens)
+        return Block(entry, tuple(ops), page_gens,
+                     tuple(insn.mnemonic for insn in insns),
+                     tuple(insn.address for insn in insns))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "on" if self.enabled else "off"

@@ -71,7 +71,8 @@ class Emulator:
         #: benchmark harness opts in.
         self.step_timer = None
 
-    def step(self) -> None:  # pragma: no cover - abstract
+    def step(self):  # pragma: no cover - abstract
+        """Execute one instruction; returns the executed Instruction."""
         raise NotImplementedError
 
     def _peek_text(self, address: int) -> str:
@@ -133,19 +134,30 @@ class Emulator:
         cache_before = (cache.hits, cache.misses, cache.invalidations,
                         cache.epoch_flushes)
         blocks_before = (blocks.hits, blocks.misses, blocks.invalidations,
-                         blocks.epoch_flushes)
+                         blocks.epoch_flushes, blocks.native_flushes)
         timer = self.step_timer
+        profiler = getattr(process, "profiler", None)
+        if profiler is not None:
+            # Run-scoped sampling phase: sample points become a pure
+            # function of each run's completed-step count, so sweep
+            # workers merge byte-identical to the sequential sweep.
+            profiler.begin_run()
         # Block dispatch is outcome-identical but not *observation*-identical
         # at instruction granularity, so tracing and per-step timing force
         # the per-instruction path: traces and step histograms stay exact.
+        # The profiler deliberately does NOT force the fallback — blocks
+        # carry their mnemonic/address lines, so block dispatch sums into
+        # the same per-opcode totals single-stepping would produce and
+        # step_timer.count == summed profiler steps on the same workload.
         use_blocks = blocks.enabled and trace is None and timer is None
         steps = 0
         try:
             while steps < max_steps:
                 native = process.native_at(process.pc)
                 if native is not None:
+                    pc = process.pc
                     if trace is not None:
-                        trace.record(process.pc, "native", f"{native.name}(...)")
+                        trace.record(pc, "native", f"{native.name}(...)")
                     if timer is not None:
                         started = perf_counter()
                         native.invoke(process)
@@ -153,31 +165,50 @@ class Emulator:
                     else:
                         native.invoke(process)
                     steps += 1
+                    if profiler is not None:
+                        profiler.record_native(process, native, pc)
                     continue
                 if use_blocks:
+                    builds_before = blocks.builds if profiler is not None else 0
                     block = blocks.fetch(self, process.pc)
-                    if block is not None and steps + block.length <= max_steps:
+                    if profiler is not None and block is not None \
+                            and blocks.builds != builds_before:
+                        profiler.record_build(block)
+                    if (block is not None
+                            and steps + block.length <= max_steps
+                            and (profiler is None
+                                 or profiler.admits_block(block.length))):
                         # A whole block fits in the remaining budget; one
                         # that doesn't falls through to single stepping so
                         # EmulationBudgetExceeded fires at exactly max_steps.
+                        # Same rule for a profiler sample boundary: a block
+                        # that would cross it is declined so the sample
+                        # observes exact per-step architectural state.
                         try:
                             executed = block.execute(process)
                         except BaseException:
                             steps += block.executed
                             blocks.steps += block.executed
+                            if profiler is not None:
+                                profiler.record_block(process, block,
+                                                      block.executed)
                             raise
                         steps += executed
                         blocks.steps += executed
+                        if profiler is not None:
+                            profiler.record_block(process, block, executed)
                         continue
                 if trace is not None:
                     trace.record(process.pc, "insn", self._peek_text(process.pc))
                 if timer is not None:
                     started = perf_counter()
-                    self.step()
+                    insn = self.step()
                     timer.observe((perf_counter() - started) * 1e6)
                 else:
-                    self.step()
+                    insn = self.step()
                 steps += 1
+                if profiler is not None:
+                    profiler.record_insn(process, insn)
             raise EmulationBudgetExceeded(max_steps)
         except _EmulationStop as stop:
             return ExecutionResult(stop.reason, steps, stop.detail)
@@ -186,22 +217,33 @@ class Emulator:
             return ExecutionResult("fault", steps, str(fault), fault=fault)
         finally:
             observer = process.observer
-            if observer is not None:
-                observer.inc("decode_cache_hits", cache.hits - cache_before[0])
-                observer.inc("decode_cache_misses", cache.misses - cache_before[1])
-                observer.inc("decode_cache_invalidations",
-                             cache.invalidations - cache_before[2])
-                observer.inc("decode_cache_epoch_flushes",
-                             cache.epoch_flushes - cache_before[3])
-                observer.inc("block_cache_hits", blocks.hits - blocks_before[0])
-                observer.inc("block_cache_misses", blocks.misses - blocks_before[1])
-                observer.inc("block_cache_invalidations",
-                             blocks.invalidations - blocks_before[2])
-                observer.inc("block_cache_epoch_flushes",
-                             blocks.epoch_flushes - blocks_before[3])
-                for length in blocks.built_lengths:
-                    observer.observe("block.length", length)
-                blocks.built_lengths.clear()
+            if profiler is not None:
+                profiler.end_run(process)
+            if observer is not None or profiler is not None:
+                deltas = {
+                    "decode_cache_hits": cache.hits - cache_before[0],
+                    "decode_cache_misses": cache.misses - cache_before[1],
+                    "decode_cache_invalidations":
+                        cache.invalidations - cache_before[2],
+                    "decode_cache_epoch_flushes":
+                        cache.epoch_flushes - cache_before[3],
+                    "block_cache_hits": blocks.hits - blocks_before[0],
+                    "block_cache_misses": blocks.misses - blocks_before[1],
+                    "block_cache_invalidations":
+                        blocks.invalidations - blocks_before[2],
+                    "block_cache_epoch_flushes":
+                        blocks.epoch_flushes - blocks_before[3],
+                    "block_cache_native_flushes":
+                        blocks.native_flushes - blocks_before[4],
+                }
+                if profiler is not None:
+                    profiler.record_cache(deltas)
+                if observer is not None:
+                    for name, delta in deltas.items():
+                        observer.inc(name, delta)
+                    for length in blocks.built_lengths:
+                        observer.observe("block.length", length)
+                    blocks.built_lengths.clear()
 
 
 def make_emulator(process: Process) -> Emulator:

@@ -82,6 +82,11 @@ class Process:
         #: under a ``cpu.run`` span on its tracer, and captures crash
         #: postmortems through it when a run faults.
         self.observer = None
+        #: Optional :class:`~repro.obs.profiler.DeterministicProfiler`;
+        #: the emulator attributes per-opcode/per-block cost and takes
+        #: guest stack samples through it when set.  Read-only over
+        #: guest state: profiled runs are outcome-identical.
+        self.profiler = None
         self._pc_name = pc_register(arch)
         self._sp_name = sp_register(arch)
 

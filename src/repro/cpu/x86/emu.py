@@ -53,7 +53,7 @@ class X86Emulator(Emulator):
         mask = ~(0xFF << shift) & MASK32
         self.process.registers[parent] = (current & mask) | ((value & 0xFF) << shift)
 
-    def step(self) -> None:
+    def step(self) -> Instruction:
         process = self.process
         address = process.pc
         cache = process.decode_cache
@@ -62,6 +62,7 @@ class X86Emulator(Emulator):
             insn = decode(self._fetch_window(address), address, strict=True)
             cache.record_decode(insn)
         self._execute(insn)
+        return insn
 
     def _execute(self, insn: Instruction) -> None:
         process = self.process

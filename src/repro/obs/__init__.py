@@ -15,7 +15,12 @@ text exposition that round-trips through its strict parser, and the
 ``repro dash`` terminal dashboard.
 """
 
-from .chrome import chrome_trace_events, export_chrome_trace, validate_chrome_trace
+from .chrome import (
+    chrome_counter_events,
+    chrome_trace_events,
+    export_chrome_trace,
+    validate_chrome_trace,
+)
 from .collector import Collector
 from .dashboard import (
     build_dashboard_json,
@@ -53,17 +58,32 @@ from .pcap import (
     sniff_capture,
 )
 from .postmortem import CrashReport, capture_crash_report
+from .profiler import (
+    CACHE_LINES,
+    DEFAULT_SAMPLE_INTERVAL,
+    DeterministicProfiler,
+    ProfileData,
+    WallClockProfiler,
+    folded_stacks,
+    render_profile,
+    speedscope_document,
+    validate_speedscope,
+)
 from .spans import Span, Tracer, snapshot_payload
 
 __all__ = [
     "build_dashboard_json",
+    "CACHE_LINES",
     "capture_crash_report",
+    "chrome_counter_events",
     "chrome_trace_events",
     "Collector",
     "Counter",
     "CrashReport",
     "dashboard_json",
+    "DEFAULT_SAMPLE_INTERVAL",
     "DEFAULT_SLOS",
+    "DeterministicProfiler",
     "estimate_percentile",
     "evaluate_slos",
     "EventBus",
@@ -71,6 +91,7 @@ __all__ = [
     "export_datagrams",
     "export_openmetrics",
     "export_pcap_text",
+    "folded_stacks",
     "Histogram",
     "MetricsRegistry",
     "OpenMetricsError",
@@ -79,8 +100,10 @@ __all__ = [
     "parse_rule",
     "parse_rules",
     "PcapFormatError",
+    "ProfileData",
     "render_dashboard",
     "render_openmetrics",
+    "render_profile",
     "replay_network",
     "SloReport",
     "SloRule",
@@ -89,6 +112,7 @@ __all__ = [
     "sniff_capture",
     "snapshot_payload",
     "Span",
+    "speedscope_document",
     "SWEEP_SLOS",
     "sparkline",
     "TimeSeries",
@@ -97,4 +121,6 @@ __all__ = [
     "TraceEvent",
     "Tracer",
     "validate_chrome_trace",
+    "validate_speedscope",
+    "WallClockProfiler",
 ]

@@ -21,6 +21,7 @@ TRACE_PID = 1
 _REQUIRED_KEYS = {
     "X": ("name", "cat", "ph", "ts", "dur", "pid", "tid"),
     "i": ("name", "cat", "ph", "ts", "pid", "tid", "s"),
+    "C": ("name", "cat", "ph", "ts", "pid", "args"),
 }
 
 
@@ -28,8 +29,40 @@ def _micros(seconds: float) -> float:
     return round(seconds * 1e6, 3)
 
 
+def chrome_counter_events(collector) -> List[Dict[str, Any]]:
+    """Perfetto counter tracks (``ph: "C"``) from the attached series store.
+
+    Every sampled counter series becomes one counter track on the
+    simulated timeline — cache hit/miss rates, restarts, query counts —
+    drawn by Perfetto as per-name area charts under the span rows.
+    Collectors without a :class:`~repro.obs.timeseries.TimeSeriesStore`
+    contribute no counter events (the export stays valid).
+    """
+    events: List[Dict[str, Any]] = []
+    store = getattr(collector, "series", None)
+    if store is None:
+        return events
+    for name in store.names():
+        series = store.series[name]
+        if series.kind != "counter":
+            continue
+        for time, value in zip(series.times, series.values):
+            events.append(
+                {
+                    "name": name,
+                    "cat": name.split(".", 1)[0].split("_", 1)[0],
+                    "ph": "C",
+                    "ts": _micros(time),
+                    "pid": TRACE_PID,
+                    "args": {"value": value},
+                }
+            )
+    return events
+
+
 def chrome_trace_events(collector) -> List[Dict[str, Any]]:
-    """Flatten one collector into a Trace Event array (spans + instants)."""
+    """Flatten one collector into a Trace Event array (spans + instants +
+    counter tracks)."""
     events: List[Dict[str, Any]] = []
     for span in collector.tracer.spans:
         if span.end is None:
@@ -67,6 +100,7 @@ def chrome_trace_events(collector) -> List[Dict[str, Any]]:
                 "args": args,
             }
         )
+    events.extend(chrome_counter_events(collector))
     return events
 
 

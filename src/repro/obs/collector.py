@@ -36,6 +36,9 @@ class Collector:
         self.tracer = Tracer(self)
         #: Attached :class:`~repro.obs.timeseries.TimeSeriesStore`, if any.
         self.series = series
+        #: Attached :class:`~repro.obs.profiler.DeterministicProfiler`,
+        #: if any (the daemon wires it onto each booted process).
+        self.profiler = None
         #: Crash forensics captured during the run, oldest first.
         self.postmortems: List["CrashReport"] = []
 
@@ -68,6 +71,15 @@ class Collector:
         """Attach a time-series store; clock movement now takes samples."""
         self.series = store
         return store
+
+    # -- profiling ------------------------------------------------------------
+
+    def attach_profiler(self, profiler):
+        """Attach a deterministic profiler; anything that boots a process
+        under this collector (the daemon does) wires it onto the process
+        and registers the booted image's symbols for stack sampling."""
+        self.profiler = profiler
+        return profiler
 
     def _sample_grid(self) -> None:
         if self.series is not None:
@@ -136,6 +148,8 @@ class Collector:
         }
         if self.series is not None:
             exported["series"] = self.series.to_dict()
+        if self.profiler is not None:
+            exported["profile"] = self.profiler.to_dict()
         return exported
 
     def to_json(self, *, last_events: Optional[int] = None, indent: int = 2) -> str:

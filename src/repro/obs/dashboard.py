@@ -136,6 +136,23 @@ def render_dashboard(collector: "Collector",
             p95 = "-" if row["p95_s"] is None else f"{row['p95_s']:.3g}"
             lines.append(f"  {row['name']:<28} count={row['count']:<6} "
                          f"total={row['total_s']:<10.3f} p95={p95}")
+    profiler = getattr(collector, "profiler", None)
+    if profiler is not None and profiler.data.steps:
+        data = profiler.data
+        total = data.steps
+        lines.append("")
+        lines.append(_paint("hot opcodes (profiled guest steps)", BOLD, color))
+        for name, count in data.opcode_table(5):
+            lines.append(f"  {name:<28} {count:>8}  "
+                         f"{100.0 * count / total:5.1f}%")
+        blocks = data.block_table(3)
+        if blocks:
+            lines.append(_paint("hot blocks (dispatch economics)", BOLD, color))
+            for row in blocks:
+                lines.append(
+                    f"  {row['entry']:#010x} len={row['length']:<3} "
+                    f"dispatches={row['dispatches']:<6} "
+                    f"steps={row['steps']:<8} builds={row['builds']}")
     if collector.postmortems:
         lines.append("")
         lines.append(_paint(
@@ -150,7 +167,7 @@ def build_dashboard_json(collector: "Collector",
                          scenario: Optional[str] = None) -> dict:
     """The ``--once --json`` machine payload (CI's view of the board)."""
     store = collector.series
-    return {
+    payload = {
         "schema": DASH_SCHEMA,
         "scenario": scenario,
         "clock": round(collector.clock, 6),
@@ -162,6 +179,10 @@ def build_dashboard_json(collector: "Collector",
         "counters": collector.metrics.counters(),
         "postmortems": len(collector.postmortems),
     }
+    profiler = getattr(collector, "profiler", None)
+    if profiler is not None:
+        payload["profile"] = profiler.to_dict()
+    return payload
 
 
 def dashboard_json(collector: "Collector",

@@ -275,7 +275,10 @@ class TestBlockInvalidation:
         process.pc = 0x1000
         emulator.run(max_steps=20)
         assert calls == [0x1002]
-        assert process.block_cache.epoch_flushes >= 1
+        # A native registration is its own flush cause, distinct from a
+        # mapping-epoch move.
+        assert process.block_cache.native_flushes >= 1
+        assert process.block_cache.epoch_flushes == 0
 
     def test_cross_page_block_invalidated_by_second_page_write(self):
         """An instruction straddling the entry page's boundary stamps the
