@@ -29,6 +29,9 @@
     python -m repro spans                   # span tree of one wire-to-verdict attack
     python -m repro trace-export --chrome   # Perfetto-loadable Chrome trace JSON
     python -m repro postmortem              # forced crash, gdb-style crash report
+    python -m repro postmortem --taint --json  # report embeds wire-offset taint
+    python -m repro taint --scenario crash  # wire offset -> memory -> PC chain
+    python -m repro pcap --taint --sniff    # capture with tainted-PC datagram marks
 """
 
 from __future__ import annotations
@@ -439,6 +442,7 @@ def cmd_chaos(args) -> int:
             checkpoint=checkpoint,
             resume=resume,
             sweep_observer=sweep_observer,
+            taint=args.taint,
         )
     except CheckpointMismatch as exc:
         print(f"repro chaos: {exc}", file=sys.stderr)
@@ -616,7 +620,7 @@ def cmd_postmortem(args) -> int:
 
     from .core import run_forced_crash
 
-    run = run_forced_crash(arch=args.arch, seed=args.seed)
+    run = run_forced_crash(arch=args.arch, seed=args.seed, taint=args.taint)
     report = run.collector.last_postmortem
     if report is None:
         print("no crash captured (daemon survived?)", file=sys.stderr)
@@ -630,12 +634,56 @@ def cmd_postmortem(args) -> int:
     return 0
 
 
+def cmd_taint(args) -> int:
+    """Byte-level taint provenance: wire offsets -> memory -> registers -> PC."""
+    import json
+
+    from .obs import Collector, TaintEngine, render_provenance
+
+    collector = Collector()
+    engine = collector.attach_taint(TaintEngine())
+    if args.scenario == "crash":
+        from .core import run_forced_crash
+
+        run_forced_crash(arch=args.arch, seed=args.seed, observer=collector)
+    else:  # attack
+        from .core import run_observed_attack
+
+        run_observed_attack(arch=args.arch, level_label=args.level,
+                            seed=args.seed, observer=collector)
+    if args.json:
+        print(json.dumps(engine.to_dict(), indent=2))
+    else:
+        print(render_provenance(engine))
+    return 0
+
+
 def cmd_pcap(args) -> int:
     """Capture a faulty LAN exchange and print the reprocap text document."""
     from .dns import SimpleDnsServer, make_query
     from .net import DNS_PORT, FaultPolicy, Host, Network
     from .obs import export_pcap_text, sniff_capture
 
+    if args.taint:
+        # Capture the forced-crash exchange under the taint engine so the
+        # document marks the datagram whose bytes reached the guest PC.
+        from .core import run_forced_crash
+        from .obs import Collector, TaintEngine
+
+        collector = Collector()
+        engine = collector.attach_taint(TaintEngine())
+        run = run_forced_crash(arch=args.arch, seed=args.seed,
+                               observer=collector)
+        text = export_pcap_text(run.network, taint=engine)
+        if args.sniff:
+            for packet in sniff_capture(text):
+                marker = (" [bytes reached tainted PC]"
+                          if engine.datagram_reached_pc(packet.datagram.payload)
+                          else "")
+                print(packet.describe() + marker)
+        else:
+            print(text, end="")
+        return 0
     policy = FaultPolicy(args.seed, corrupt=args.corrupt, duplicate=args.duplicate)
     network = Network("capture-lan", subnet_prefix="10.77.0", faults=policy)
     server = Host("dns-server")
@@ -974,6 +1022,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="sweep-health SLO gating the exit code, e.g. "
                             "'sweep.quarantined count == 0' (repeatable; "
                             "default: the built-in sweep set)")
+    chaos.add_argument("--taint", action="store_true",
+                       help="run every trial under the taint engine; taint.* "
+                            "counters land in the artifact, outcome cells "
+                            "stay byte-identical")
     chaos.set_defaults(run=cmd_chaos)
 
     bench = subparsers.add_parser(
@@ -1096,7 +1148,22 @@ def build_parser() -> argparse.ArgumentParser:
     postmortem.add_argument("--seed", type=int, default=0xC4A5)
     postmortem.add_argument("--json", action="store_true",
                             help="machine-readable output")
+    postmortem.add_argument("--taint", action="store_true",
+                            help="run under the taint engine; the report "
+                                 "gains the PC-provenance section and --json "
+                                 "embeds the repro-taint/v1 summary")
     postmortem.set_defaults(run=cmd_postmortem)
+
+    taint = subparsers.add_parser(
+        "taint", help="taint provenance: wire offsets -> memory -> "
+                      "registers -> PC")
+    _add_attack_args(taint)
+    taint.add_argument("--scenario", choices=("crash", "attack"),
+                       default="crash",
+                       help="crash = forced CVE-2017-12865 crash (default); "
+                            "attack = wire-to-verdict exploit (--level "
+                            "applies)")
+    taint.set_defaults(run=cmd_taint)
 
     pcap = subparsers.add_parser(
         "pcap", help="reprocap text capture of a faulty LAN exchange")
@@ -1109,6 +1176,12 @@ def build_parser() -> argparse.ArgumentParser:
     pcap.add_argument("--sniff", action="store_true",
                       help="round-trip the capture through the sniffer and "
                            "print the analysis instead of the document")
+    pcap.add_argument("--taint", action="store_true",
+                      help="capture the forced-crash exchange under the "
+                           "taint engine instead of the faulty LAN; records "
+                           "whose bytes reached a tainted PC are annotated "
+                           "(--sniff marks them)")
+    _add_arch(pcap)
     pcap.set_defaults(run=cmd_pcap)
 
     offpath = subparsers.add_parser("offpath", help="E11 off-path spoofing")

@@ -98,6 +98,10 @@ class ConnmanDaemon:
             # *this* boot's tables (ASLR re-slides libc every boot).
             self.loaded.process.profiler = self.observer.profiler
             self.observer.profiler.register_symbols(self.loaded)
+        if self.observer is not None and getattr(self.observer, "taint", None) is not None:
+            # Tainted boot: a fresh shadow map over this boot's address
+            # space (the provenance record itself is cumulative).
+            self.observer.taint.attach_process(self.loaded.process)
         canary = StackCanary(self.rng) if self.profile.canary else None
         ret_guard = ReturnAddressGuard(self.rng) if self.profile.ret_guard else None
         if self.profile.cfi:

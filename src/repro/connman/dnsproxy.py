@@ -120,28 +120,37 @@ class DnsProxyCore:
         except _Drop as drop:
             return DaemonEvent(kind=EventKind.DROPPED, detail=drop.reason)
 
-        place = self.placement()
-        self._set_up_frame(place)
+        # A reply that survived validation becomes a taint source: every
+        # byte _get_name copies out of it is labeled with its wire offset.
+        taint = getattr(self.loaded.process, "taint", None)
+        if taint is not None:
+            taint.begin_source(reply)
         try:
-            cached = self._parse_sections(reply, place)
-            self._post_parse_writes(place)
-            self._null_slot_checks(place)
-            self._canary_check(place)
-        except _Drop as drop:
-            return DaemonEvent(kind=EventKind.DROPPED, detail=drop.reason)
-        except _AbortPath as bail:
-            self.loaded.process.record_exit(code=134, signal="SIGABRT")
-            return DaemonEvent(kind=EventKind.CRASHED, signal="SIGABRT", detail=bail.reason)
-        except CanaryClobbered as smash:
-            self.loaded.process.record_exit(code=134, signal="SIGABRT")
-            return DaemonEvent(kind=EventKind.CRASHED, signal="SIGABRT", detail=str(smash))
-        except MemoryFault as fault:
-            # e.g. parse_rr dereferenced an unmapped placeholder, or the
-            # expansion ran off the top of the stack segment.
-            self.loaded.process.record_exit(code=139, signal=fault.signal)
-            return DaemonEvent(kind=EventKind.CRASHED, signal=fault.signal, detail=str(fault))
+            place = self.placement()
+            self._set_up_frame(place)
+            try:
+                cached = self._parse_sections(reply, place)
+                self._post_parse_writes(place)
+                self._null_slot_checks(place)
+                self._canary_check(place)
+            except _Drop as drop:
+                return DaemonEvent(kind=EventKind.DROPPED, detail=drop.reason)
+            except _AbortPath as bail:
+                self.loaded.process.record_exit(code=134, signal="SIGABRT")
+                return DaemonEvent(kind=EventKind.CRASHED, signal="SIGABRT", detail=bail.reason)
+            except CanaryClobbered as smash:
+                self.loaded.process.record_exit(code=134, signal="SIGABRT")
+                return DaemonEvent(kind=EventKind.CRASHED, signal="SIGABRT", detail=str(smash))
+            except MemoryFault as fault:
+                # e.g. parse_rr dereferenced an unmapped placeholder, or the
+                # expansion ran off the top of the stack segment.
+                self.loaded.process.record_exit(code=139, signal=fault.signal)
+                return DaemonEvent(kind=EventKind.CRASHED, signal=fault.signal, detail=str(fault))
 
-        return self._function_return(place, cached)
+            return self._function_return(place, cached)
+        finally:
+            if taint is not None:
+                taint.end_source()
 
     # -- header validation ----------------------------------------------------------
 
@@ -252,6 +261,16 @@ class DnsProxyCore:
         process stack.
         """
         memory = self.loaded.process.memory
+        taint = getattr(self.loaded.process, "taint", None)
+
+        def wire(cursor_offset: int, count: int, note: str):
+            """Per-byte labels for copying wire bytes at ``cursor_offset``."""
+            if taint is None:
+                return None
+            return taint.wire_labels(cursor_offset, count,
+                                     address=name_address + name_len,
+                                     note=note)
+
         patched = not self.version.is_vulnerable
         name_len = 0
         jumps = 0
@@ -262,7 +281,8 @@ class DnsProxyCore:
                 raise _Drop("name runs past end of packet")
             length = packet[cursor]
             if length == 0:
-                memory.write_u8(name_address + name_len, 0)
+                memory.write_u8(name_address + name_len, 0,
+                                taint=wire(cursor, 1, "name terminator"))
                 return end if end is not None else cursor + 1
             if length & 0xC0 == 0xC0:
                 if end is None:
@@ -283,19 +303,25 @@ class DnsProxyCore:
                 # The 1.35 fix: refuse to expand past the buffer.
                 raise _Drop("uncompressed name too long (patched bounds check)")
             # Listing 1, line by line:
-            memory.write_u8(name_address + name_len, label_length)
+            memory.write_u8(name_address + name_len, label_length,
+                            taint=wire(cursor, 1, "label length"))
             name_len += 1
             chunk = packet[cursor + 1 : cursor + 1 + label_length + 1]  # +1 over-copy
             if len(chunk) < label_length:
                 raise _Drop("label runs past end of packet")
-            memory.write(name_address + name_len, chunk)
+            memory.write(name_address + name_len, chunk,
+                         taint=wire(cursor + 1, len(chunk), "label bytes"))
             name_len += label_length
             cursor += 1 + label_length
 
     def _read_back_name(self, place: FramePlacement) -> str:
         """Benign read of the expanded name for the cache (bounded)."""
-        memory = self.loaded.process.memory
+        process = self.loaded.process
+        memory = process.memory
+        taint = getattr(process, "taint", None)
+        shadowed = taint is not None and taint.shadow is not None
         labels: List[str] = []
+        char_labels: List = []
         cursor = place.name_address
         limit = place.name_address + self.frame.buffer_size
         while cursor < limit:
@@ -303,8 +329,20 @@ class DnsProxyCore:
             if length == 0 or length > 63:
                 break
             labels.append(memory.read(cursor + 1, length).decode("latin-1"))
+            if shadowed:
+                if len(labels) > 1:
+                    # The '.' separator stands in for this label's length
+                    # byte, so it inherits that byte's provenance.
+                    char_labels.append(taint.shadow.union(cursor, 1))
+                char_labels.extend(taint.shadow.read(cursor + 1, length))
             cursor += 1 + length
-        return ".".join(labels)
+        name = ".".join(labels)
+        if shadowed:
+            # The daemon will copy this *string* (not memory) into the
+            # guest cache; remember its per-character provenance so the
+            # copy can be seeded (see GuestNameStore.put).
+            taint.register_derived(name, char_labels)
+        return name
 
     # -- post-parse frame interactions -------------------------------------------------
 
@@ -354,9 +392,15 @@ class DnsProxyCore:
         process = self.loaded.process
         memory = process.memory
         frame = self.frame
+        taint = getattr(process, "taint", None)
         saved_base = place.ret_slot - frame.saved_area_size
         for index, register in enumerate(frame.saved_registers):
             process.registers[register] = memory.read_u32(saved_base + 4 * index)
+            if taint is not None and taint.shadow is not None:
+                # The epilogue's register restores move (possibly
+                # overflowed) stack bytes into callee-saved registers.
+                taint.set_reg(register,
+                              taint.shadow.union(saved_base + 4 * index, 4))
         target = memory.read_u32(place.ret_slot)
         if self.ret_guard is not None:
             # The epilogue decrypts; attacker-written plaintext addresses
@@ -375,6 +419,17 @@ class DnsProxyCore:
                 )
 
         process.pc = target
+        if taint is not None and taint.shadow is not None:
+            # This is Listing 1's payoff written out: the program counter
+            # takes whatever the ret slot holds — wire bytes, when the
+            # expansion overflowed that far.
+            ret_labels = taint.shadow.union(place.ret_slot, 4)
+            x86 = process.arch == "x86"
+            taint.set_reg("esp" if x86 else "r13", frozenset())
+            taint.set_reg("eip" if x86 else "r15", ret_labels)
+            taint.note_pc_write(ret_labels, pc=target,
+                                via="parse_response epilogue",
+                                address=place.ret_slot)
         result = self._run_cpu()
         return self._classify(result, cached)
 

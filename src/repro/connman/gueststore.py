@@ -104,8 +104,15 @@ class GuestBackedDnsCache:
                 self._note("flush")
                 cursor = self.base
         memory = self.process.memory
+        taint = getattr(self.process, "taint", None)
+        labels = taint.derived_labels(name) if taint is not None else None
         memory.write_u8(cursor, len(encoded))
-        memory.write(cursor + 1, encoded)
+        if labels is not None and len(labels) == len(encoded):
+            # The cached name came back out of (possibly tainted) stack
+            # memory; its per-character provenance follows it into .bss.
+            memory.write(cursor + 1, encoded, taint=labels)
+        else:
+            memory.write(cursor + 1, encoded)
         memory.write(cursor + 1 + len(encoded),
                      bytes(int(part) for part in address.split(".")))
         memory.write_u32(cursor + 1 + len(encoded) + 4, self._clock + ttl)

@@ -155,14 +155,21 @@ def run_chaos_point(
     entropy_pages: int = 32,
     start_limit_burst: int = 6,
     observer: Optional[Collector] = None,
+    taint: bool = False,
 ) -> ChaosCell:
     """Measure one fault level: client workload first, then the attack.
 
     When ``observer`` is set, the daemon, supervisor, fault fabric, and
     brute forcer all trace into it — the chaos point becomes the CLI's
     canonical observed scenario (``repro trace-events`` / ``repro
-    metrics``).
+    metrics``).  ``taint=True`` (observed runs only) attaches a taint
+    engine so every parsed reply is provenance-tracked; cells are
+    byte-identical either way.
     """
+    if taint and observer is not None and observer.taint is None:
+        from ..obs.taint import TaintEngine
+
+        observer.attach_taint(TaintEngine())
     # Narrow the victim's ASLR span to the attacker's guess space so the
     # attack column measures fault/supervision effects, not raw entropy.
     profile = WX_ASLR.with_(aslr_entropy_pages=entropy_pages)
@@ -242,7 +249,7 @@ def _chaos_point_task(task: Tuple) -> Tuple:
     """
     (level, point_seed, queries, attack_budget, entropy_pages,
      start_limit_burst, observed, sample_interval, sample_limit,
-     profile_interval) = task
+     profile_interval, tainted) = task
     collector = Collector() if observed else None
     if collector is not None and sample_interval is not None:
         collector.attach_series(
@@ -252,6 +259,10 @@ def _chaos_point_task(task: Tuple) -> Tuple:
 
         collector.attach_profiler(
             DeterministicProfiler(sample_interval=profile_interval))
+    if collector is not None and tainted:
+        from ..obs.taint import TaintEngine
+
+        collector.attach_taint(TaintEngine())
     cell = run_chaos_point(
         level,
         seed=point_seed,
@@ -287,6 +298,7 @@ def run_chaos_sweep(
     checkpoint: Optional[str] = None,
     resume: bool = False,
     sweep_observer: Optional[Collector] = None,
+    taint: bool = False,
 ) -> ReliabilityReport:
     """Sweep the fault level; each point gets an independent derived seed.
 
@@ -328,12 +340,14 @@ def run_chaos_sweep(
     if use_tasks:
         store = observer.series if observer is not None else None
         profiler = observer.profiler if observer is not None else None
+        tainted = taint or (observer is not None and observer.taint is not None)
         tasks = [
             (level, seed + 7919 * index, queries_per_rate, attack_budget,
              entropy_pages, start_limit_burst, observer is not None,
              store.interval if store is not None else None,
              store.limit if store is not None else 0,
-             profiler.sample_interval if profiler is not None else None)
+             profiler.sample_interval if profiler is not None else None,
+             tainted)
             for index, level in enumerate(rates)
         ]
         journal = None
@@ -394,6 +408,7 @@ def run_chaos_sweep(
                     entropy_pages=entropy_pages,
                     start_limit_burst=start_limit_burst,
                     observer=observer,
+                    taint=taint,
                 )
             )
     if observer is not None:

@@ -168,6 +168,7 @@ def run_observed_attack(
     version: str = "1.34",
     seed: int = 0x0B5E,
     observer: Optional[Collector] = None,
+    taint: bool = False,
 ) -> ObservedAttack:
     """One attack over a real simulated LAN, fully span-traced.
 
@@ -185,6 +186,10 @@ def run_observed_attack(
     ``repro trace-export``).
     """
     collector = observer if observer is not None else Collector()
+    if taint and collector.taint is None:
+        from ..obs.taint import TaintEngine
+
+        collector.attach_taint(TaintEngine())
     profile = _profile_for(level_label)
     rng = random.Random(seed)
     scenario = AttackScenario(arch=arch, level_label=level_label,
@@ -228,6 +233,7 @@ def run_forced_crash(
     version: str = "1.34",
     seed: int = 0xC4A5,
     observer: Optional[Collector] = None,
+    taint: bool = False,
 ) -> ObservedAttack:
     """Force the CVE-2017-12865 stack smash over the wire; capture forensics.
 
@@ -240,6 +246,10 @@ def run_forced_crash(
     from .experiments import naive_overflow_blob
 
     collector = observer if observer is not None else Collector()
+    if taint and collector.taint is None:
+        from ..obs.taint import TaintEngine
+
+        collector.attach_taint(TaintEngine())
     rng = random.Random(seed)
     network, client, victim_host, attacker_host = _attack_lan(collector)
     daemon = ConnmanDaemon(arch=arch, version=version, profile=NONE,

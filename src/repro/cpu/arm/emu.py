@@ -402,3 +402,118 @@ def compile_block_op(insn: Instruction, memory, *, flags_needed: bool, guard):
                                  f"uncompilable mnemonic {mnemonic}")
 
     return op
+
+
+# -- taint propagation (see repro.obs.taint) -------------------------------------
+
+def propagate_taint(engine, process, insn, prev) -> None:
+    """Label transfer function mirroring ``_execute``'s data flow.
+
+    Called by :meth:`TaintEngine.step` *after* the instruction retired;
+    ``prev`` is the pre-step register file (memory operand addresses —
+    r13 for push/pop, the base for ldr/str — come from it).  An r15
+    *operand read* yields the constant pc+8, so it never carries labels;
+    flags are not shadowed (explicit flows only).
+
+    Memory writes already passed through ``AddressSpace.write`` untainted
+    (clearing the covered shadow bytes), so stores only need re-seeding
+    when the source register carries labels.
+    """
+
+    def value_of(operand):
+        if isinstance(operand, int):
+            return operand & MASK32
+        if operand == "r15":
+            return (insn.address + 8) & MASK32
+        return prev[operand] & MASK32
+
+    def labels_of(operand):
+        if isinstance(operand, int) or operand == "r15":
+            return frozenset()
+        return engine.reg_labels(operand)
+
+    shadow = engine.shadow
+    set_reg = engine.set_reg
+    mnemonic = insn.mnemonic
+    operands = insn.operands
+
+    if mnemonic in ("mov", "movs", "mvn", "mvns"):
+        rd, operand2 = operands
+        labels = labels_of(operand2)
+        if rd == "r15" and mnemonic in ("mov", "movs"):
+            # mvn/mvns to r15 falls through in this interpreter.
+            set_reg("r15", labels)
+            engine.note_pc_write(labels, pc=process.pc,
+                                 via=f"{mnemonic} pc, ...")
+            return
+        set_reg(rd, labels)
+    elif mnemonic in ("add", "adds", "sub", "subs", "and", "ands",
+                      "eor", "eors", "orr", "orrs"):
+        rd, rn, operand2 = operands
+        labels = labels_of(rn) | labels_of(operand2)
+        if rd == "r15":
+            set_reg("r15", labels)
+            engine.note_pc_write(labels, pc=process.pc,
+                                 via=f"{mnemonic} pc, ...")
+            return
+        set_reg(rd, labels)
+    elif mnemonic == "pop":
+        (reglist,) = operands
+        base = prev["r13"] & MASK32
+        branch_labels = None
+        slot = None
+        for index, name in enumerate(reglist):
+            labels = shadow.union((base + 4 * index) & MASK32, 4)
+            if name == "r15":
+                branch_labels = labels
+                slot = (base + 4 * index) & MASK32
+            else:
+                set_reg(name, labels)
+        if branch_labels is not None:
+            set_reg("r15", branch_labels)
+            engine.note_pc_write(branch_labels, pc=process.pc,
+                                 via="pop {..., pc}", address=slot)
+            return
+    elif mnemonic == "push":
+        (reglist,) = operands
+        # STMDB: reglist[i] lands at sp - 4*(len - i); r15 pushes pc+8
+        # (a constant, clean).
+        base = prev["r13"] & MASK32
+        for index, name in enumerate(reglist):
+            labels = labels_of(name)
+            if labels:
+                slot = (base - 4 * (len(reglist) - index)) & MASK32
+                shadow.set_range(slot, (labels,) * 4)
+    elif mnemonic in ("bx", "blx"):
+        labels = labels_of(operands[0])
+        set_reg("r15", labels)
+        if mnemonic == "blx":
+            set_reg("r14", frozenset())
+        engine.note_pc_write(labels, pc=process.pc,
+                             via=f"{mnemonic} {operands[0]}")
+        return
+    elif mnemonic in ("b", "bl"):
+        if mnemonic == "bl":
+            set_reg("r14", frozenset())
+    elif mnemonic == "svc":
+        # Syscall results (r0) are host-generated, not wire data.
+        set_reg("r0", frozenset())
+    elif mnemonic in ("ldr", "ldrb"):
+        rd, rn, offset = operands
+        width = 4 if mnemonic == "ldr" else 1
+        labels = shadow.union((value_of(rn) + offset) & MASK32, width)
+        if rd == "r15" and mnemonic == "ldr":
+            set_reg("r15", labels)
+            engine.note_pc_write(labels, pc=process.pc, via="ldr pc, [...]",
+                                 address=(value_of(rn) + offset) & MASK32)
+            return
+        set_reg(rd, labels)
+    elif mnemonic in ("str", "strb"):
+        rd, rn, offset = operands
+        labels = labels_of(rd)
+        if labels:
+            width = 4 if mnemonic == "str" else 1
+            shadow.set_range((value_of(rn) + offset) & MASK32,
+                             (labels,) * width)
+    # cmp writes only flags; b/svc fall through to the clear below.
+    set_reg("r15", frozenset())

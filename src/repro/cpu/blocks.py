@@ -201,7 +201,14 @@ class BlockCache:
         Returns ``None`` when no block can start at ``address`` (the very
         first instruction fails to decode) — the per-step path then raises
         the exact fault the interpreter would.
+
+        Declines outright (before any counter moves) while a taint engine
+        is attached: label propagation needs per-instruction pre-step
+        register state that block dispatch never materializes, and the run
+        loop's own gate cannot cover callers that fetch blocks directly.
         """
+        if getattr(self.process, "taint", None) is not None:
+            return None
         block = self.lookup(address)
         if block is not None:
             return block

@@ -137,6 +137,7 @@ class Emulator:
                          blocks.epoch_flushes, blocks.native_flushes)
         timer = self.step_timer
         profiler = getattr(process, "profiler", None)
+        taint = getattr(process, "taint", None)
         if profiler is not None:
             # Run-scoped sampling phase: sample points become a pure
             # function of each run's completed-step count, so sweep
@@ -149,7 +150,10 @@ class Emulator:
         # carry their mnemonic/address lines, so block dispatch sums into
         # the same per-opcode totals single-stepping would produce and
         # step_timer.count == summed profiler steps on the same workload.
-        use_blocks = blocks.enabled and trace is None and timer is None
+        # Taint DOES force it: label propagation needs each instruction's
+        # pre-step register file, which block dispatch never materializes.
+        use_blocks = (blocks.enabled and trace is None and timer is None
+                      and taint is None)
         steps = 0
         try:
             while steps < max_steps:
@@ -200,6 +204,11 @@ class Emulator:
                         continue
                 if trace is not None:
                     trace.record(process.pc, "insn", self._peek_text(process.pc))
+                # Snapshot the register file the instruction will *read*
+                # before stepping (outside the timed region): propagation
+                # needs pre-step sp/base values to locate memory operands.
+                prev_regs = (dict(process.registers.values)
+                             if taint is not None else None)
                 if timer is not None:
                     started = perf_counter()
                     insn = self.step()
@@ -207,6 +216,8 @@ class Emulator:
                 else:
                     insn = self.step()
                 steps += 1
+                if taint is not None:
+                    taint.step(process, insn, prev_regs)
                 if profiler is not None:
                     profiler.record_insn(process, insn)
             raise EmulationBudgetExceeded(max_steps)

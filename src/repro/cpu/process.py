@@ -87,6 +87,11 @@ class Process:
         #: guest stack samples through it when set.  Read-only over
         #: guest state: profiled runs are outcome-identical.
         self.profiler = None
+        #: Optional :class:`~repro.obs.taint.TaintEngine`; the emulator
+        #: propagates byte-level labels through each executed instruction
+        #: when set (per-step dispatch, like tracing).  Read-only over
+        #: guest state: tainted runs are outcome-identical.
+        self.taint = None
         self._pc_name = pc_register(arch)
         self._sp_name = sp_register(arch)
 

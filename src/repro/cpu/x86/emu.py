@@ -483,3 +483,100 @@ def compile_block_op(insn: Instruction, memory, *, flags_needed: bool, guard):
                                  f"uncompilable mnemonic {mnemonic}")
 
     return op
+
+
+# -- taint propagation (see repro.obs.taint) -------------------------------------
+
+def propagate_taint(engine, process, insn, prev) -> None:
+    """Label transfer function mirroring ``_execute``'s data flow.
+
+    Called by :meth:`TaintEngine.step` *after* the instruction retired;
+    ``prev`` is the pre-step register file, which is where every memory
+    operand address (sp for push/pop/ret, the base register for
+    load/store) must come from.  Explicit flows only: flags are not
+    shadowed, so conditional branches never propagate labels — the trust
+    boundary is documented in docs/ARCHITECTURE.md.
+
+    Memory writes already passed through ``AddressSpace.write`` untainted
+    (clearing the covered shadow bytes), so this function only needs to
+    *re-seed* stores whose source register carries labels.
+    """
+    shadow = engine.shadow
+    labels_of = engine.reg_labels
+    set_reg = engine.set_reg
+    mnemonic = insn.mnemonic
+    operands = insn.operands
+
+    if mnemonic == "push":
+        (operand,) = operands
+        if isinstance(operand, str):
+            labels = labels_of(operand)
+            if labels:
+                shadow.set_range((prev["esp"] - 4) & MASK32, (labels,) * 4)
+    elif mnemonic == "pop":
+        set_reg(operands[0], shadow.union(prev["esp"], 4))
+    elif mnemonic == "mov":
+        dst, src = operands
+        set_reg(dst, labels_of(src) if isinstance(src, str) else frozenset())
+    elif mnemonic == "xor":
+        dst, src = operands
+        if dst == src:
+            set_reg(dst, frozenset())  # the canonical zeroing idiom
+        else:
+            set_reg(dst, labels_of(dst) | labels_of(src))
+    elif mnemonic in ("add", "sub", "and", "or"):
+        dst, src = operands
+        if isinstance(src, str):
+            set_reg(dst, labels_of(dst) | labels_of(src))
+    elif mnemonic == "xchg":
+        left, right = operands
+        left_labels, right_labels = labels_of(left), labels_of(right)
+        set_reg(left, right_labels)
+        set_reg(right, left_labels)
+    elif mnemonic == "store":
+        base, src = operands
+        labels = labels_of(src)
+        if labels:
+            shadow.set_range(prev[base] & MASK32, (labels,) * 4)
+    elif mnemonic == "load":
+        dst, base = operands
+        set_reg(dst, shadow.union(prev[base] & MASK32, 4))
+    elif mnemonic == "cdq":
+        set_reg("edx", labels_of("eax"))  # sign extension derives from eax
+    elif mnemonic == "leave":
+        set_reg("esp", labels_of("ebp"))
+        set_reg("ebp", shadow.union(prev["ebp"] & MASK32, 4))
+    elif mnemonic in ("ret", "retn"):
+        labels = shadow.union(prev["esp"], 4)
+        set_reg("eip", labels)
+        engine.note_pc_write(labels, pc=process.pc, via=mnemonic,
+                             address=prev["esp"] & MASK32)
+        return
+    elif mnemonic == "call":
+        (operand,) = operands
+        if isinstance(operand, str):
+            labels = labels_of(operand)
+            set_reg("eip", labels)
+            engine.note_pc_write(labels, pc=process.pc,
+                                 via=f"call {operand}")
+        else:
+            set_reg("eip", frozenset())
+        return
+    elif mnemonic == "jmp":
+        (operand,) = operands
+        if isinstance(operand, str):
+            labels = labels_of(operand)
+            set_reg("eip", labels)
+            engine.note_pc_write(labels, pc=process.pc,
+                                 via=f"jmp {operand}")
+        else:
+            set_reg("eip", frozenset())
+        return
+    elif mnemonic == "int":
+        # The syscall layer consumed registers and wrote a result (or
+        # spawned/stopped); its eax result is host-generated, not wire data.
+        set_reg("eax", frozenset())
+    # Remaining mnemonics (mov8 immediate insert, not/neg, shl/shr by
+    # immediate, inc/dec, cmp/test, nop family, jz/jnz) either keep their
+    # destination's labels or only write flags/pc from immediates.
+    set_reg("eip", frozenset())

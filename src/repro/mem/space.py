@@ -45,6 +45,11 @@ class AddressSpace:
         #: page index -> write generation; bumped by :meth:`write` so cached
         #: decodes of self-modified code are detected and dropped.
         self._page_gens: Dict[int, int] = {}
+        #: Optional :class:`~repro.obs.taint.ShadowMemory` attached by a
+        #: taint engine.  When set, every :meth:`write` updates the shadow:
+        #: the ``taint=`` per-byte labels when given, a *clear* of the
+        #: covered range otherwise (untainted data scrubs stale labels).
+        self.taint = None
 
     def _mappings_changed(self) -> None:
         self._bases = [seg.base for seg in self._segments]
@@ -204,8 +209,14 @@ class AddressSpace:
             remaining -= take
         return b"".join(chunks)
 
-    def write(self, address: int, payload: bytes, *, check: bool = True) -> None:
-        """Write bytes, spanning contiguous segments; faults on gaps/permissions."""
+    def write(self, address: int, payload: bytes, *, check: bool = True,
+              taint=None) -> None:
+        """Write bytes, spanning contiguous segments; faults on gaps/permissions.
+
+        ``taint`` is an optional per-byte label sequence (one label set per
+        payload byte) consumed by an attached shadow map; when omitted the
+        write clears any shadow labels it covers.
+        """
         address &= ADDRESS_MASK
         cursor = address
         offset = 0
@@ -214,6 +225,18 @@ class AddressSpace:
         # leave earlier segments modified, and a spurious invalidation is
         # harmless while a missed one would execute stale decodes.
         self._note_write(address, len(payload))
+        if self.taint is not None:
+            # Same ordering rationale as the generation bump above: a
+            # spurious label after a mid-span fault is harmless over-taint,
+            # a missed one would hide real attacker data flow.
+            if taint is None:
+                self.taint.clear_range(address, len(payload))
+            else:
+                if len(taint) != len(payload):
+                    raise ValueError(
+                        f"taint labels cover {len(taint)} bytes but the "
+                        f"write covers {len(payload)}")
+                self.taint.set_range(address, taint)
         for seg in covering:
             take = min(len(payload) - offset, seg.end - cursor)
             seg.write(cursor, payload[offset : offset + take], check=check)
@@ -244,14 +267,14 @@ class AddressSpace:
     def read_u32(self, address: int) -> int:
         return struct.unpack("<I", self.read(address, 4))[0]
 
-    def write_u8(self, address: int, value: int) -> None:
-        self.write(address, bytes([value & 0xFF]))
+    def write_u8(self, address: int, value: int, *, taint=None) -> None:
+        self.write(address, bytes([value & 0xFF]), taint=taint)
 
-    def write_u16(self, address: int, value: int) -> None:
-        self.write(address, struct.pack("<H", value & 0xFFFF))
+    def write_u16(self, address: int, value: int, *, taint=None) -> None:
+        self.write(address, struct.pack("<H", value & 0xFFFF), taint=taint)
 
-    def write_u32(self, address: int, value: int) -> None:
-        self.write(address, struct.pack("<I", value & ADDRESS_MASK))
+    def write_u32(self, address: int, value: int, *, taint=None) -> None:
+        self.write(address, struct.pack("<I", value & ADDRESS_MASK), taint=taint)
 
     def read_cstring(self, address: int, limit: int = 4096) -> bytes:
         """Read a NUL-terminated string (used by execve/system stubs)."""

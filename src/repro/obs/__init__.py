@@ -70,6 +70,14 @@ from .profiler import (
     validate_speedscope,
 )
 from .spans import Span, Tracer, snapshot_payload
+from .taint import (
+    ShadowMemory,
+    TaintEngine,
+    format_offsets,
+    group_offsets,
+    render_provenance,
+    validate_taint_summary,
+)
 
 __all__ = [
     "build_dashboard_json",
@@ -92,6 +100,8 @@ __all__ = [
     "export_openmetrics",
     "export_pcap_text",
     "folded_stacks",
+    "format_offsets",
+    "group_offsets",
     "Histogram",
     "MetricsRegistry",
     "OpenMetricsError",
@@ -104,14 +114,17 @@ __all__ = [
     "render_dashboard",
     "render_openmetrics",
     "render_profile",
+    "render_provenance",
     "replay_network",
     "SloReport",
     "SloRule",
     "SloRuleError",
     "SloVerdict",
+    "ShadowMemory",
     "sniff_capture",
     "snapshot_payload",
     "Span",
+    "TaintEngine",
     "speedscope_document",
     "SWEEP_SLOS",
     "sparkline",
@@ -122,5 +135,6 @@ __all__ = [
     "Tracer",
     "validate_chrome_trace",
     "validate_speedscope",
+    "validate_taint_summary",
     "WallClockProfiler",
 ]

@@ -39,6 +39,9 @@ class Collector:
         #: Attached :class:`~repro.obs.profiler.DeterministicProfiler`,
         #: if any (the daemon wires it onto each booted process).
         self.profiler = None
+        #: Attached :class:`~repro.obs.taint.TaintEngine`, if any (the
+        #: daemon wires it onto each booted process).
+        self.taint = None
         #: Crash forensics captured during the run, oldest first.
         self.postmortems: List["CrashReport"] = []
 
@@ -80,6 +83,16 @@ class Collector:
         and registers the booted image's symbols for stack sampling."""
         self.profiler = profiler
         return profiler
+
+    # -- taint provenance -----------------------------------------------------
+
+    def attach_taint(self, engine):
+        """Attach a taint engine; anything that boots a process under this
+        collector (the daemon does) shadows the process's memory with it,
+        and the ``taint.*`` counters land in this collector's registry."""
+        self.taint = engine
+        engine.collector = self
+        return engine
 
     def _sample_grid(self) -> None:
         if self.series is not None:
@@ -150,6 +163,8 @@ class Collector:
             exported["series"] = self.series.to_dict()
         if self.profiler is not None:
             exported["profile"] = self.profiler.to_dict()
+        if self.taint is not None:
+            exported["taint"] = self.taint.to_dict()
         return exported
 
     def to_json(self, *, last_events: Optional[int] = None, indent: int = 2) -> str:

@@ -153,6 +153,21 @@ def render_dashboard(collector: "Collector",
                     f"  {row['entry']:#010x} len={row['length']:<3} "
                     f"dispatches={row['dispatches']:<6} "
                     f"steps={row['steps']:<8} builds={row['builds']}")
+    taint = getattr(collector, "taint", None)
+    if taint is not None:
+        lines.append("")
+        lines.append(_paint("taint provenance (wire bytes -> PC)", BOLD, color))
+        live = taint.shadow.live_bytes if taint.shadow is not None else 0
+        lines.append(f"  sources={len(taint.sources)} "
+                     f"seeded={taint.seeded_bytes}B live={live}B "
+                     f"pc_writes={len(taint.pc_events)}")
+        if taint.pc_events:
+            event = taint.pc_events[-1]
+            where = (f" from [{event['address']:#010x}]"
+                     if event["address"] is not None else "")
+            lines.append(_paint(
+                f"  PC <- {event['pc']:#010x} via {event['via']}{where}",
+                RED, color))
     if collector.postmortems:
         lines.append("")
         lines.append(_paint(
@@ -182,6 +197,9 @@ def build_dashboard_json(collector: "Collector",
     profiler = getattr(collector, "profiler", None)
     if profiler is not None:
         payload["profile"] = profiler.to_dict()
+    taint = getattr(collector, "taint", None)
+    if taint is not None:
+        payload["taint"] = taint.to_dict()
     return payload
 
 

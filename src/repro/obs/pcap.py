@@ -30,12 +30,19 @@ class PcapFormatError(ValueError):
     """The text capture is not a well-formed reprocap v1 document."""
 
 
-def export_pcap_text(network: Network) -> str:
-    """Render ``network.traffic`` as a reprocap v1 text document."""
-    return export_datagrams(network.traffic, name=network.name)
+def export_pcap_text(network: Network, *, taint=None) -> str:
+    """Render ``network.traffic`` as a reprocap v1 text document.
+
+    ``taint`` (a :class:`~repro.obs.taint.TaintEngine`) annotates every
+    record whose payload bytes reached a tainted program counter with a
+    ``#``-comment line; the parser skips comments, so annotated captures
+    still round-trip losslessly.
+    """
+    return export_datagrams(network.traffic, name=network.name, taint=taint)
 
 
-def export_datagrams(datagrams: Iterable[UdpDatagram], *, name: str = "capture") -> str:
+def export_datagrams(datagrams: Iterable[UdpDatagram], *, name: str = "capture",
+                     taint=None) -> str:
     records = list(datagrams)
     lines = [f"{MAGIC} network={name} packets={len(records)}"]
     for index, datagram in enumerate(records):
@@ -44,6 +51,11 @@ def export_datagrams(datagrams: Iterable[UdpDatagram], *, name: str = "capture")
             f"{datagram.dst_ip}:{datagram.dst_port} "
             f"len={len(datagram.payload)} {datagram.payload.hex() or '-'}"
         )
+        if taint is not None and taint.datagram_reached_pc(datagram.payload):
+            from .taint import payload_digest
+
+            lines.append(f"# taint: packet {index} bytes reached a tainted "
+                         f"PC (payload digest {payload_digest(datagram.payload)})")
     return "\n".join(lines) + "\n"
 
 
@@ -65,6 +77,10 @@ def parse_pcap_text(text: str) -> Tuple[str, List[UdpDatagram]]:
     name = header_fields.get("network", "capture")
     datagrams: List[UdpDatagram] = []
     for line in lines[1:]:
+        if line.lstrip().startswith("#"):
+            # Annotation comments (taint markers, operator notes) ride in
+            # the document but are not records.
+            continue
         parts = line.split()
         if len(parts) != 6 or parts[2] != ">":
             raise PcapFormatError(f"bad record: {line!r}")

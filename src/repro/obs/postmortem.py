@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from .spans import snapshot_payload
+from .taint import format_offsets
 
 #: Stack bytes captured below/above SP (clipped to the mapped segment).
 STACK_WINDOW_BEFORE = 32
@@ -56,6 +57,10 @@ class CrashReport:
     span_path: List[str] = field(default_factory=list)
     #: Hex snapshot of the offending datagram (capped like span payloads).
     datagram_hex: Optional[str] = None
+    #: Taint provenance summary (``repro-taint/v1``; see
+    #: :func:`repro.obs.taint.validate_taint_summary`) when the process
+    #: died under an attached taint engine; ``None`` otherwise.
+    taint: Optional[dict] = None
 
     def to_dict(self) -> dict:
         return {
@@ -75,6 +80,7 @@ class CrashReport:
             "span_id": self.span_id,
             "span_path": list(self.span_path),
             "datagram_hex": self.datagram_hex,
+            "taint": self.taint,
         }
 
     def render(self) -> str:
@@ -112,6 +118,31 @@ class CrashReport:
             lines.append(
                 f"    {seg['base']:08x}-{seg['end']:08x} {seg['perm']} {seg['name']}"
             )
+        if self.taint is not None:
+            grouped = self.taint.get("pc_offsets", {})
+            if grouped:
+                described = "; ".join(
+                    f"source {source} offsets {format_offsets(offsets)}"
+                    for source, offsets in sorted(
+                        grouped.items(), key=lambda kv: int(kv[0])))
+                lines.append(f"  PC tainted by payload offsets [{described}]")
+            else:
+                lines.append("  PC not tainted by payload bytes")
+            event = self.taint.get("last_pc_event")
+            if event is not None:
+                slot = (f" from [{event['address']:#010x}]"
+                        if event.get("address") is not None else "")
+                lines.append(
+                    f"    last tainted PC write: {event['pc']:#010x} "
+                    f"via {event['via']}{slot}")
+            for run in self.taint.get("stack", []):
+                described = "; ".join(
+                    f"source {source} offsets {format_offsets(offsets)}"
+                    for source, offsets in sorted(
+                        run["offsets"].items(), key=lambda kv: int(kv[0])))
+                lines.append(
+                    f"    tainted stack bytes [{run['address']:#010x}, "
+                    f"+{run['length']}): {described}")
         if self.span_path:
             lines.append(f"  causal span : #{self.span_id} via {' > '.join(self.span_path)}")
         if self.datagram_hex is not None:
@@ -209,6 +240,10 @@ def capture_crash_report(
             for seg in process.memory.segments()
         ],
     )
+    engine = getattr(process, "taint", None)
+    if engine is not None:
+        report.taint = engine.crash_summary(
+            process, stack_start=stack_base, stack_length=len(stack_bytes))
     if tracer is not None:
         carrier = tracer.nearest_payload_span()
         if carrier is not None:

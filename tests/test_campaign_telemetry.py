@@ -252,6 +252,19 @@ class TestOpenMetrics:
         assert "requests" in names and "latency_ms" in names
         assert "requests_series" in names  # the attached store's samples
 
+    def test_taint_counters_round_trip(self):
+        from repro.obs import TaintEngine
+
+        collector = Collector()
+        collector.attach_taint(TaintEngine())
+        run_forced_crash(observer=collector)
+        text = export_openmetrics(collector)
+        families = parse_openmetrics(text)
+        assert render_openmetrics(families) == text
+        names = {family.name for family in families}
+        assert {"taint_sources", "taint_seeded_bytes", "taint_pc_writes",
+                "taint_live_bytes"} <= names
+
     def test_histogram_family_is_cumulative_with_inf(self):
         collector = Collector()
         collector.observe("lat", 0.5)
